@@ -1,0 +1,123 @@
+// Command asm assembles a program for the simulated processor and runs it,
+// reporting the architectural result and the counter values the defense
+// would have observed — the quickest way to see how any hand-written code
+// scores against the RSX detector.
+//
+// Usage:
+//
+//	asm prog.s                 # assemble + run, print registers/counters
+//	asm -tags rsxo prog.s
+//	asm -disasm prog.s         # assemble then disassemble (round-trip)
+//	echo 'MOVI r1, 2 ... ' | asm -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/isa"
+	"darkarts/internal/microcode"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("asm", flag.ContinueOnError)
+	tags := fs.String("tags", "rsx", "decoder tag set: rsx or rsxo")
+	budget := fs.Uint64("budget", 100_000_000, "max instructions to execute")
+	disasm := fs.Bool("disasm", false, "print the disassembly instead of running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: asm [flags] <file.s|->")
+	}
+
+	var src []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		fmt.Fprint(stdout, isa.Disassemble(prog))
+		return nil
+	}
+
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Characterize = true
+	machine, err := cpu.New(cfg)
+	if err != nil {
+		return err
+	}
+	switch *tags {
+	case "rsx":
+		machine.InstallTagTable(microcode.RSX())
+	case "rsxo":
+		machine.InstallTagTable(microcode.RSXO())
+	default:
+		return fmt.Errorf("unknown tag set %q", *tags)
+	}
+
+	const base = 0x100_0000
+	ctx, err := cpu.NewContext(prog, machine.Memory(), base)
+	if err != nil {
+		return err
+	}
+	core := machine.Core(0)
+	core.LoadContext(ctx)
+	var executed uint64
+	for executed < *budget && !ctx.Halted {
+		ran := core.Run(*budget - executed)
+		executed += ran
+		if ran == 0 {
+			break
+		}
+	}
+	if ctx.Fault != nil {
+		return fmt.Errorf("program faulted: %w", ctx.Fault)
+	}
+	if !ctx.Halted {
+		fmt.Fprintf(stdout, "(budget of %d instructions exhausted before HALT)\n", *budget)
+	}
+
+	fmt.Fprintf(stdout, "program %q: %d instructions retired\n", prog.Name, executed)
+	fmt.Fprint(stdout, "non-zero registers:\n")
+	for r := 0; r < isa.NumRegs; r++ {
+		if v := ctx.Regs[r]; v != 0 {
+			fmt.Fprintf(stdout, "  %-4s = %d (%#x)\n", isa.Reg(r), v, v)
+		}
+	}
+	bank := core.Counters()
+	fmt.Fprintf(stdout, "defense counters (%s tags): RSX=%d (%.2f%% of retired)\n",
+		*tags, bank.RSX(), 100*float64(bank.RSX())/float64(max64(executed, 1)))
+	fmt.Fprintf(stdout, "  rotate=%d shift=%d xor=%d or=%d\n",
+		bank.ClassCount(isa.ClassRotate), bank.ClassCount(isa.ClassShift),
+		bank.ClassCount(isa.ClassXor), bank.ClassCount(isa.ClassOr))
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

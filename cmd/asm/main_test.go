@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testProg = `
+.name rotator
+    MOVI r1, 0x1234
+loop:
+    ROLI r1, r1, 7
+    XORI r1, r1, 0x55
+    ADDI r2, r2, 1
+    CMPI r2, 100
+    JNE  loop
+    HALT
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.s")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAsmRunsProgram(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{writeTemp(t, testProg)}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "rotator") || !strings.Contains(s, "RSX=200") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "rotate=100") {
+		t.Errorf("rotate count missing:\n%s", s)
+	}
+}
+
+func TestAsmStdin(t *testing.T) {
+	var out bytes.Buffer
+	in := strings.NewReader("MOVI r5, 9\nHALT\n")
+	if err := run([]string{"-"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "r5   = 9") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestAsmDisasm(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-disasm", writeTemp(t, testProg)}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ROLI r1, r1, 7") {
+		t.Errorf("disasm:\n%s", out.String())
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{writeTemp(t, "FROB r1")}, nil, &out); err == nil {
+		t.Error("bad program accepted")
+	}
+	if err := run([]string{"-tags", "bogus", writeTemp(t, "HALT")}, nil, &out); err == nil {
+		t.Error("bad tag set accepted")
+	}
+	if err := run([]string{"/nonexistent/file.s"}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{writeTemp(t, "MOVI r1, 1\nMOVI r2, 0\nDIV r1, r1, r2\nHALT")}, nil, &out); err == nil {
+		t.Error("faulting program reported success")
+	}
+}
+
+func TestAsmBudgetExhaustion(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-budget", "500", writeTemp(t, "spin:\n JMP spin")}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "budget") {
+		t.Errorf("no budget message:\n%s", out.String())
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunInfectedDetects(t *testing.T) {
+	err := run([]string{"-duration", "90s", "-period", "30s", "-threads", "4"})
+	if err != nil {
+		t.Fatalf("infected run: %v", err)
+	}
+}
+
+func TestRunCleanIsQuiet(t *testing.T) {
+	if err := run([]string{"-clean", "-duration", "60s", "-period", "20s"}); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+}
+
+func TestRunZcashRSXO(t *testing.T) {
+	err := run([]string{"-coin", "zcash", "-tags", "rsxo", "-duration", "60s", "-period", "20s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-tags", "bogus", "-duration", "1s"}); err == nil {
+		t.Error("bogus tag set accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	err := run([]string{"-run", "table1,table2,table4,fig1,threshold-sweep", "-scale", "0.01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-run", "table4", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCharacterizationFigure(t *testing.T) {
+	if err := run([]string{"-run", "fig5", "-window", "400000"}); err != nil {
+		t.Fatal(err)
+	}
+}

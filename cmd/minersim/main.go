@@ -1,0 +1,137 @@
+// Command minersim exercises the mining substrate end-to-end: it starts the
+// TCP pool over a fresh blockchain, connects a miner client, sweeps nonces
+// against pool jobs, submits shares, and reports the hash rate, share
+// statistics and estimated profitability.
+//
+// Usage:
+//
+//	minersim -pow sha256d -rounds 6
+//	minersim -pow cryptonight -rounds 2         # slower, memory-hard
+//	minersim -isa                               # mine on the simulated CPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/miner"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "minersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("minersim", flag.ContinueOnError)
+	powName := fs.String("pow", "sha256d", "proof of work: sha256d, cryptonight, equihash")
+	rounds := fs.Int("rounds", 4, "jobs to mine")
+	budget := fs.Uint64("budget", 1<<18, "nonce attempts per job")
+	isaMode := fs.Bool("isa", false, "run one mining round on the simulated CPU and report its RSX signature")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *isaMode {
+		return runISA()
+	}
+
+	var pow miner.PoW
+	switch *powName {
+	case "sha256d":
+		pow = miner.SHA256d{}
+	case "cryptonight":
+		pow = &miner.CryptoNightLite{ScratchKB: 16, Iterations: 512}
+	case "equihash":
+		pow = miner.DefaultEquihash()
+	default:
+		return fmt.Errorf("unknown pow %q", *powName)
+	}
+
+	pool := miner.NewPool(pow, 1<<57, 1<<59)
+	addr, err := pool.Serve()
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	fmt.Printf("pool %s listening on %s\n", pow.Name(), addr)
+
+	client, err := miner.DialPool(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	start := time.Now()
+	var attempts uint64
+	for r := 0; r < *rounds; r++ {
+		job, err := client.GetJob()
+		if err != nil {
+			return err
+		}
+		nonce, found := miner.Mine(pow, job.Header, 0, *budget)
+		attempts += *budget
+		if !found {
+			fmt.Printf("job %d: budget exhausted\n", job.ID)
+			continue
+		}
+		ok, err := client.Submit(job.ID, nonce)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("job %d: nonce %d share accepted=%v\n", job.ID, nonce, ok)
+	}
+	elapsed := time.Since(start)
+	stats := pool.Stats()
+	fmt.Printf("chain height %d, shares accepted %d rejected %d, blocks %d\n",
+		pool.Chain().Height(), stats.SharesAccepted, stats.SharesRejected, stats.BlocksFound)
+	fmt.Printf("host-side hash rate: %.0f H/s over %v\n",
+		float64(attempts)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	if err := pool.Chain().Verify(); err != nil {
+		return fmt.Errorf("chain verification: %w", err)
+	}
+	fmt.Println("chain verified")
+	p := miner.EstimateProfit(1.0)
+	fmt.Printf("full-speed attacker economics: %.3f XMR/h ($%.2f/h)\n", p.XMRPerHour, p.USDPerHour)
+	return nil
+}
+
+// runISA mines on the simulated processor and prints the instruction
+// signature the defense would see.
+func runISA() error {
+	header := miner.Header{Height: 1, Time: 42, Target: 0}.Marshal()
+	key := []byte("0123456789abcdef")
+	prog, lay := miner.BuildISAMinerProgram(header, key, 1<<59, 0, 256)
+
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Characterize = true
+	machine, err := cpu.New(cfg)
+	if err != nil {
+		return err
+	}
+	const base = 0x400_0000
+	ctx, err := cpu.NewContext(prog, machine.Memory(), base)
+	if err != nil {
+		return err
+	}
+	machine.Core(0).LoadContext(ctx)
+	for !ctx.Halted {
+		machine.Core(0).Run(100_000_000)
+	}
+	if ctx.Fault != nil {
+		return ctx.Fault
+	}
+	mem := machine.Memory()
+	bank := machine.Core(0).Counters()
+	fmt.Printf("ISA miner: found=%d nonce=%d\n",
+		mem.Read(base+uint64(lay.Found), 8), mem.Read(base+uint64(lay.FoundNonce), 8))
+	fmt.Printf("retired %d instructions, RSX %d (%.1f%%)\n",
+		bank.Retired(), bank.RSX(), 100*float64(bank.RSX())/float64(bank.Retired()))
+	return nil
+}

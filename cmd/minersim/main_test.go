@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSHA256dPool(t *testing.T) {
+	if err := run([]string{"-pow", "sha256d", "-rounds", "3", "-budget", "131072"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEquihashPool(t *testing.T) {
+	if err := run([]string{"-pow", "equihash", "-rounds", "2", "-budget", "65536"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunISAMode(t *testing.T) {
+	if err := run([]string{"-isa"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownPow(t *testing.T) {
+	if err := run([]string{"-pow", "scrypt"}); err == nil {
+		t.Error("unknown pow accepted")
+	}
+}

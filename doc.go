@@ -1,0 +1,13 @@
+// Package darkarts is a from-scratch reproduction of "An Application
+// Agnostic Defense Against the Dark Arts of Cryptojacking" (Lachtar, Abu
+// Elkhail, Bacha, Malik — DSN 2021): a cross-stack cryptojacking defense
+// spanning a simulated out-of-order processor that tags and counts
+// rotate/shift/xor (RSX) instructions at retirement, and an operating
+// system layer that samples the counter at context switches, aggregates it
+// per thread group, and raises alerts on sustained mining-scale RSX rates.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are under cmd/ and examples/; the
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation (see EXPERIMENTS.md for paper-vs-measured results).
+package darkarts

@@ -1,0 +1,30 @@
+// MLpipeline: the Section VI-E supplemental detector. Builds the
+// 272-sample / 527-feature dataset, reduces it to 11 dimensions with PCA,
+// trains SVM / logistic regression / decision tree / kNN, and reports the
+// detection rate at each miner throttling level plus false positive rates
+// — the Figure 18 experiment as a library workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"darkarts/internal/experiments"
+)
+
+func main() {
+	results, table, err := experiments.Figure18(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table)
+
+	fmt.Println("summary:")
+	for _, r := range results {
+		at95 := r.DetectByTh[0.95]
+		fmt.Printf("  %-20s FPR %5.1f%%  detection@95%% throttle %5.1f%%\n",
+			r.Model, 100*r.FPR, 100*at95)
+	}
+	fmt.Println("\npaper: SVM kept 100% detection at 95% throttling with <2% FPR;")
+	fmt.Println("logistic regression matched the detection rate at ~40% FPR.")
+}

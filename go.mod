@@ -1,0 +1,3 @@
+module darkarts
+
+go 1.22

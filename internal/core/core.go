@@ -1,0 +1,135 @@
+// Package core assembles the paper's cross-stack cryptojacking defense
+// (Figure 3): the simulated multi-core processor with its
+// microcode-programmable RSX tagging and retirement counter (hardware
+// layer), the scheduler-integrated sampling, tgid aggregation, procfs
+// tunables and alerting (OS layer), plus convenience APIs for loading
+// workloads and miners onto the protected machine.
+//
+// It is the package a downstream user starts from:
+//
+//	sys, _ := core.NewDefenseSystem(core.DefaultOptions())
+//	sys.SpawnApp(someWorkloadProfile)
+//	miner.SpawnMiner(sys.Kernel(), miner.Monero, 0.3, 4, 1000)
+//	sys.Run(2 * time.Minute)
+//	for _, a := range sys.Alerts() { fmt.Println(a) }
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/isa"
+	"darkarts/internal/kernel"
+	"darkarts/internal/microcode"
+	"darkarts/internal/workload"
+)
+
+// Options configures a DefenseSystem.
+type Options struct {
+	CPU    cpu.Config
+	Kernel kernel.Config
+	// TagSet selects the decoder tag table: "rsx" (default), "rsxo", or
+	// "rotate-only" (ablation).
+	TagSet string
+}
+
+// DefaultOptions returns the paper's deployment: the Table I machine in
+// fast mode with RSX tags, 2.5B/min threshold over one-minute windows.
+func DefaultOptions() Options {
+	return Options{
+		CPU:    cpu.DefaultConfig(),
+		Kernel: kernel.DefaultConfig(),
+		TagSet: "rsx",
+	}
+}
+
+// DefenseSystem is the assembled machine + OS with the defense active.
+type DefenseSystem struct {
+	machine *cpu.CPU
+	kern    *kernel.Kernel
+	// nextBase allocates disjoint memory regions for ISA workloads.
+	nextBase uint64
+}
+
+// NewDefenseSystem builds and wires the full stack.
+func NewDefenseSystem(opts Options) (*DefenseSystem, error) {
+	machine, err := cpu.New(opts.CPU)
+	if err != nil {
+		return nil, fmt.Errorf("defense system: %w", err)
+	}
+	table, err := tagTableByName(opts.TagSet)
+	if err != nil {
+		return nil, err
+	}
+	update := microcode.FirmwareUpdate{Version: 1, Table: table}
+	if err := update.Apply(machine); err != nil {
+		return nil, fmt.Errorf("defense system: %w", err)
+	}
+	k := kernel.New(machine, opts.Kernel)
+	return &DefenseSystem{machine: machine, kern: k, nextBase: 0x1000_0000}, nil
+}
+
+func tagTableByName(name string) (*microcode.TagTable, error) {
+	switch name {
+	case "", "rsx":
+		return microcode.RSX(), nil
+	case "rsxo":
+		return microcode.RSXO(), nil
+	case "rotate-only":
+		return microcode.RotateOnly(), nil
+	default:
+		return nil, fmt.Errorf("defense system: unknown tag set %q", name)
+	}
+}
+
+// Machine returns the simulated CPU.
+func (d *DefenseSystem) Machine() *cpu.CPU { return d.machine }
+
+// Kernel returns the simulated OS.
+func (d *DefenseSystem) Kernel() *kernel.Kernel { return d.kern }
+
+// ProcFS returns the runtime tunables filesystem.
+func (d *DefenseSystem) ProcFS() *kernel.ProcFS { return d.kern.ProcFS() }
+
+// UpdateMicrocode installs a new decoder tag table through the firmware
+// update path (e.g. switching RSX -> RSXO in the field).
+func (d *DefenseSystem) UpdateMicrocode(version uint32, tagSet string) error {
+	table, err := tagTableByName(tagSet)
+	if err != nil {
+		return err
+	}
+	return microcode.FirmwareUpdate{Version: version, Table: table}.Apply(d.machine)
+}
+
+// SpawnApp schedules an application rate-model as a non-root process.
+func (d *DefenseSystem) SpawnApp(p workload.AppProfile) *kernel.Task {
+	return d.kern.Spawn(p.Name, 1000, workload.NewAppWorkload(p))
+}
+
+// SpawnProgram loads an ISA program as a non-root process running at the
+// given effective instruction rate. Looping programs restart on halt.
+func (d *DefenseSystem) SpawnProgram(name string, prog *isa.Program, ips uint64, loop bool) (*kernel.Task, error) {
+	base := d.nextBase
+	d.nextBase += cpu.RegionSize(prog) + 1<<20
+	w, err := kernel.NewISAWorkload(prog, d.machine.Memory(), base, ips)
+	if err != nil {
+		return nil, fmt.Errorf("spawn %s: %w", name, err)
+	}
+	w.Loop = loop
+	return d.kern.Spawn(name, 1000, w), nil
+}
+
+// Run advances simulated time.
+func (d *DefenseSystem) Run(dur time.Duration) { d.kern.Run(dur) }
+
+// RunUntilAlert runs until an alert fires or the duration elapses.
+func (d *DefenseSystem) RunUntilAlert(dur time.Duration) bool {
+	return d.kern.RunUntilAlert(dur)
+}
+
+// Alerts returns all raised alerts.
+func (d *DefenseSystem) Alerts() []kernel.Alert { return d.kern.Alerts() }
+
+// OnAlert registers an alert callback.
+func (d *DefenseSystem) OnAlert(fn func(kernel.Alert)) { d.kern.OnAlert(fn) }

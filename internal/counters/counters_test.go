@@ -1,0 +1,114 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+
+	"darkarts/internal/isa"
+)
+
+func TestBankBasics(t *testing.T) {
+	b := New(true)
+	b.AddRSX(5)
+	b.AddRSX(7)
+	if b.RSX() != 12 {
+		t.Errorf("RSX = %d", b.RSX())
+	}
+	b.AddRetired(100)
+	b.AddCycles(50)
+	if b.Retired() != 100 || b.Cycles() != 50 {
+		t.Error("retired/cycles wrong")
+	}
+	if got := b.IPC(); got != 2.0 {
+		t.Errorf("IPC = %v", got)
+	}
+	b.AddBranchMiss()
+	if b.BranchMisses() != 1 {
+		t.Error("branch miss not counted")
+	}
+}
+
+func TestBankIPCZeroCycles(t *testing.T) {
+	b := New(false)
+	if b.IPC() != 0 {
+		t.Error("IPC with zero cycles should be 0")
+	}
+}
+
+func TestCharacterizationGating(t *testing.T) {
+	off := New(false)
+	off.CountOp(isa.XOR)
+	off.AddOpCount(isa.XOR, 10)
+	if off.OpCount(isa.XOR) != 0 {
+		t.Error("disabled bank counted ops")
+	}
+	if off.Characterizing() {
+		t.Error("Characterizing() = true")
+	}
+
+	on := New(true)
+	on.CountOp(isa.XOR)
+	on.AddOpCount(isa.XOR, 10)
+	if on.OpCount(isa.XOR) != 11 {
+		t.Errorf("OpCount = %d", on.OpCount(isa.XOR))
+	}
+	if !on.Characterizing() {
+		t.Error("Characterizing() = false")
+	}
+}
+
+func TestClassCount(t *testing.T) {
+	b := New(true)
+	b.AddOpCount(isa.ROL, 3)
+	b.AddOpCount(isa.RORI, 4)
+	b.AddOpCount(isa.SHL, 5)
+	b.AddOpCount(isa.ADD, 100)
+	if got := b.ClassCount(isa.ClassRotate); got != 7 {
+		t.Errorf("rotate class = %d", got)
+	}
+	if got := b.ClassCount(isa.ClassShift); got != 5 {
+		t.Errorf("shift class = %d", got)
+	}
+	if got := b.ClassCount(isa.ClassRotate | isa.ClassShift); got != 12 {
+		t.Errorf("combined class = %d", got)
+	}
+}
+
+func TestResetPreservesCharacterizeFlag(t *testing.T) {
+	b := New(true)
+	b.AddRSX(9)
+	b.CountOp(isa.XOR)
+	b.Reset()
+	if b.RSX() != 0 || b.OpCount(isa.XOR) != 0 {
+		t.Error("Reset incomplete")
+	}
+	b.CountOp(isa.XOR)
+	if b.OpCount(isa.XOR) != 1 {
+		t.Error("characterization disabled after Reset")
+	}
+}
+
+func TestHistogramCopy(t *testing.T) {
+	b := New(true)
+	b.AddOpCount(isa.ADD, 2)
+	h := b.Histogram()
+	h[isa.ADD] = 999
+	if b.OpCount(isa.ADD) != 2 {
+		t.Error("Histogram returned a reference")
+	}
+}
+
+func TestRSXMonotoneProperty(t *testing.T) {
+	b := New(false)
+	var prev uint64
+	f := func(n uint16) bool {
+		b.AddRSX(uint64(n))
+		cur := b.RSX()
+		ok := cur >= prev
+		prev = cur
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

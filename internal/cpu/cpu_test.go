@@ -1,0 +1,365 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"darkarts/internal/isa"
+	"darkarts/internal/microcode"
+)
+
+// newTestCPU builds a single/multi-core CPU in the given mode with
+// characterization counters on.
+func newTestCPU(t *testing.T, mode Mode, cores int) *CPU {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	cfg.Cores = cores
+	cfg.Characterize = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// loadProgram creates a context for prog at a fixed base and loads it on
+// core 0.
+func loadProgram(t *testing.T, c *CPU, prog *isa.Program) *ArchContext {
+	t.Helper()
+	ctx, err := NewContext(prog, c.Memory(), 0x10_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Core(0).LoadContext(ctx)
+	return ctx
+}
+
+// sumProgram computes sum(1..n) in R0 using a loop.
+func sumProgram(n int64) *isa.Program {
+	b := isa.NewBuilder("sum")
+	b.Movi(isa.R0, 0)
+	b.Movi(isa.R1, 1)
+	b.Movi(isa.R2, n)
+	b.Label("loop")
+	b.Op3(isa.ADD, isa.R0, isa.R0, isa.R1)
+	b.OpI(isa.ADDI, isa.R1, isa.R1, 1)
+	b.Cmp(isa.R1, isa.R2)
+	b.Jcc(isa.JLE, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSumLoopBothModes(t *testing.T) {
+	for _, mode := range []Mode{ModeFast, ModeDetailed} {
+		c := newTestCPU(t, mode, 1)
+		ctx := loadProgram(t, c, sumProgram(100))
+		c.Core(0).Run(1 << 20)
+		if !ctx.Halted || ctx.Fault != nil {
+			t.Fatalf("%s: halted=%v fault=%v", mode, ctx.Halted, ctx.Fault)
+		}
+		if got := ctx.Regs[isa.R0]; got != 5050 {
+			t.Errorf("%s: sum = %d, want 5050", mode, got)
+		}
+	}
+}
+
+func TestModesAgreeOnArchState(t *testing.T) {
+	// A mixed program touching memory, stack, calls and all ALU groups must
+	// produce identical architectural results under both engines.
+	b := isa.NewBuilder("mixed")
+	b.Movi(isa.R0, 0x0123456789ABCDEF)
+	b.Movi(isa.R1, 0x0F0F0F0F0F0F0F0F)
+	b.Op3(isa.XOR, isa.R2, isa.R0, isa.R1)
+	b.OpI(isa.ROLI, isa.R3, isa.R2, 13)
+	b.OpI(isa.RORI, isa.R4, isa.R3, 7)
+	b.OpI(isa.SHLI, isa.R5, isa.R4, 3)
+	b.OpI(isa.SHRI, isa.R6, isa.R5, 2)
+	b.Op3(isa.AND, isa.R7, isa.R6, isa.R1)
+	b.Op3(isa.OR, isa.R8, isa.R7, isa.R0)
+	b.St(isa.R28, 0, isa.R8)
+	b.Ld(isa.R9, isa.R28, 0)
+	b.Push(isa.R9)
+	b.Pop(isa.R10)
+	b.Call("leaf")
+	b.Jmp("end")
+	b.Label("leaf")
+	b.OpI(isa.ADDI, isa.R11, isa.R10, 42)
+	b.Ret()
+	b.Label("end")
+	b.Op3(isa.MUL, isa.R12, isa.R11, isa.R1)
+	b.Halt()
+	prog := b.MustBuild()
+	prog.DataSize = 64
+
+	var regs [2][isa.NumRegs]uint64
+	for i, mode := range []Mode{ModeFast, ModeDetailed} {
+		c := newTestCPU(t, mode, 1)
+		ctx := loadProgram(t, c, prog)
+		c.Core(0).Run(1 << 20)
+		if ctx.Fault != nil {
+			t.Fatalf("%s: fault %v", mode, ctx.Fault)
+		}
+		regs[i] = ctx.Regs
+	}
+	// SP/data pointers match because layout is identical; compare all regs.
+	if regs[0] != regs[1] {
+		t.Errorf("architectural state diverges between modes:\nfast:     %v\ndetailed: %v", regs[0], regs[1])
+	}
+}
+
+func TestRSXCounterCountsExactly(t *testing.T) {
+	// 3 XOR + 2 ROL + 1 SHR = 6 RSX; MOV/ADD/AND must not count.
+	b := isa.NewBuilder("rsx")
+	b.Movi(isa.R1, 7)
+	b.Op3(isa.XOR, isa.R2, isa.R1, isa.R1)
+	b.Op3(isa.XOR, isa.R2, isa.R1, isa.R1)
+	b.OpI(isa.XORI, isa.R2, isa.R1, 3)
+	b.OpI(isa.ROLI, isa.R2, isa.R1, 5)
+	b.Op3(isa.ROL, isa.R2, isa.R1, isa.R1)
+	b.OpI(isa.SHRI, isa.R2, isa.R1, 1)
+	b.Op3(isa.ADD, isa.R3, isa.R1, isa.R1)
+	b.Op3(isa.AND, isa.R3, isa.R1, isa.R1)
+	b.Halt()
+	prog := b.MustBuild()
+
+	for _, mode := range []Mode{ModeFast, ModeDetailed} {
+		c := newTestCPU(t, mode, 1)
+		loadProgram(t, c, prog)
+		c.Core(0).Run(1 << 20)
+		if got := c.Core(0).Counters().RSX(); got != 6 {
+			t.Errorf("%s: RSX = %d, want 6", mode, got)
+		}
+		if got := c.Core(0).Counters().Retired(); got != 10 {
+			t.Errorf("%s: retired = %d, want 10", mode, got)
+		}
+	}
+}
+
+func TestMicrocodeUpdateChangesTagging(t *testing.T) {
+	b := isa.NewBuilder("or-heavy")
+	b.Movi(isa.R1, 1)
+	for i := 0; i < 10; i++ {
+		b.Op3(isa.OR, isa.R2, isa.R1, isa.R1)
+	}
+	b.Halt()
+	prog := b.MustBuild()
+
+	c := newTestCPU(t, ModeFast, 1)
+	loadProgram(t, c, prog)
+	c.Core(0).Run(1 << 20)
+	if got := c.Core(0).Counters().RSX(); got != 0 {
+		t.Fatalf("RSX tags counted OR: %d", got)
+	}
+
+	// Firmware update to RSXO and rerun.
+	u := microcode.FirmwareUpdate{Version: 2, Table: microcode.RSXO()}
+	if err := u.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	loadProgram(t, c, prog)
+	c.Core(0).Run(1 << 20)
+	if got := c.Core(0).Counters().RSX(); got != 10 {
+		t.Errorf("after RSXO update, RSX counter = %d, want 10", got)
+	}
+}
+
+func TestFaultDivideByZero(t *testing.T) {
+	b := isa.NewBuilder("div0")
+	b.Movi(isa.R1, 5)
+	b.Movi(isa.R2, 0)
+	b.Op3(isa.DIV, isa.R0, isa.R1, isa.R2)
+	b.Halt()
+	for _, mode := range []Mode{ModeFast, ModeDetailed} {
+		c := newTestCPU(t, mode, 1)
+		ctx := loadProgram(t, c, b.MustBuild())
+		c.Core(0).Run(1 << 20)
+		if !ctx.Halted || !errors.Is(ctx.Fault, ErrDivideByZero) {
+			t.Errorf("%s: fault = %v", mode, ctx.Fault)
+		}
+	}
+}
+
+func TestRunBudgetAndResume(t *testing.T) {
+	c := newTestCPU(t, ModeFast, 1)
+	ctx := loadProgram(t, c, sumProgram(1000))
+	ran := c.Core(0).Run(100)
+	if ran != 100 || ctx.Halted {
+		t.Fatalf("first slice ran %d halted=%v", ran, ctx.Halted)
+	}
+	// Resume until completion.
+	var total uint64 = ran
+	for !ctx.Halted {
+		total += c.Core(0).Run(100)
+	}
+	if ctx.Regs[isa.R0] != 500500 {
+		t.Errorf("resumed sum = %d", ctx.Regs[isa.R0])
+	}
+	if got := c.Core(0).Counters().Retired(); got != total {
+		t.Errorf("retired %d != ran %d", got, total)
+	}
+}
+
+func TestContextSwitchPreservesState(t *testing.T) {
+	c := newTestCPU(t, ModeFast, 1)
+	ctxA, err := NewContext(sumProgram(10000), c.Memory(), 0x10_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB, err := NewContext(sumProgram(10), c.Memory(), 0x40_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := c.Core(0)
+	core.LoadContext(ctxA)
+	core.Run(50)
+	savedPC, savedR0 := ctxA.PC, ctxA.Regs[isa.R0]
+	core.LoadContext(ctxB)
+	for !ctxB.Halted {
+		core.Run(100)
+	}
+	if ctxB.Regs[isa.R0] != 55 {
+		t.Errorf("task B sum = %d", ctxB.Regs[isa.R0])
+	}
+	if ctxA.PC != savedPC || ctxA.Regs[isa.R0] != savedR0 {
+		t.Error("task A state mutated while descheduled")
+	}
+	core.LoadContext(ctxA)
+	for !ctxA.Halted {
+		core.Run(10000)
+	}
+	if ctxA.Regs[isa.R0] != 50005000 {
+		t.Errorf("task A sum = %d", ctxA.Regs[isa.R0])
+	}
+}
+
+func TestDetailedModeTimingSane(t *testing.T) {
+	c := newTestCPU(t, ModeDetailed, 1)
+	loadProgram(t, c, sumProgram(10000))
+	core := c.Core(0)
+	core.Run(1 << 22)
+	bank := core.Counters()
+	if bank.Cycles() == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	ipc := bank.IPC()
+	// A tight dependent loop on a 4-wide OoO machine: IPC must be plausible.
+	if ipc < 0.2 || ipc > 4.0 {
+		t.Errorf("IPC = %.2f out of plausible range", ipc)
+	}
+}
+
+func TestDetailedIndependentBeatsDependentIPC(t *testing.T) {
+	dep := isa.NewBuilder("dep")
+	dep.Movi(isa.R1, 1)
+	dep.Movi(isa.R9, 20000)
+	dep.Label("l")
+	for i := 0; i < 8; i++ {
+		dep.Op3(isa.ADD, isa.R1, isa.R1, isa.R1) // serial dependency chain
+	}
+	dep.OpI(isa.SUBI, isa.R9, isa.R9, 1)
+	dep.Cmpi(isa.R9, 0)
+	dep.Jcc(isa.JNE, "l")
+	dep.Halt()
+
+	ind := isa.NewBuilder("ind")
+	ind.Movi(isa.R1, 1)
+	ind.Movi(isa.R9, 20000)
+	ind.Label("l")
+	for i := 0; i < 8; i++ {
+		ind.Op3(isa.ADD, isa.Reg(2+i), isa.R1, isa.R1) // independent adds
+	}
+	ind.OpI(isa.SUBI, isa.R9, isa.R9, 1)
+	ind.Cmpi(isa.R9, 0)
+	ind.Jcc(isa.JNE, "l")
+	ind.Halt()
+
+	ipc := func(p *isa.Program) float64 {
+		c := newTestCPU(t, ModeDetailed, 1)
+		loadProgram(t, c, p)
+		c.Core(0).Run(1 << 22)
+		return c.Core(0).Counters().IPC()
+	}
+	depIPC, indIPC := ipc(dep.MustBuild()), ipc(ind.MustBuild())
+	if indIPC <= depIPC {
+		t.Errorf("independent IPC %.2f <= dependent IPC %.2f", indIPC, depIPC)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	c := newTestCPU(t, ModeDetailed, 1)
+	loadProgram(t, c, sumProgram(5000))
+	c.Core(0).Run(1 << 22)
+	bank := c.Core(0).Counters()
+	missRate := float64(bank.BranchMisses()) / float64(bank.Retired())
+	if missRate > 0.02 {
+		t.Errorf("branch miss rate %.3f too high for a simple loop", missRate)
+	}
+}
+
+func TestCharacterizationHistogram(t *testing.T) {
+	c := newTestCPU(t, ModeFast, 1)
+	loadProgram(t, c, sumProgram(50))
+	c.Core(0).Run(1 << 20)
+	bank := c.Core(0).Counters()
+	if got := bank.OpCount(isa.ADD); got != 50 {
+		t.Errorf("ADD count = %d, want 50", got)
+	}
+	if got := bank.ClassCount(isa.ClassBranch); got != 50 {
+		t.Errorf("branch count = %d, want 50", got)
+	}
+}
+
+func TestNoContextRunIsNoop(t *testing.T) {
+	c := newTestCPU(t, ModeFast, 1)
+	if n := c.Core(0).Run(100); n != 0 {
+		t.Errorf("Run with no context executed %d", n)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Cores = 0
+	if _, err := New(bad); err == nil {
+		t.Error("accepted zero cores")
+	}
+	bad = DefaultConfig()
+	bad.Mode = 0
+	if _, err := New(bad); err == nil {
+		t.Error("accepted invalid mode")
+	}
+	bad = DefaultConfig()
+	bad.Mode = ModeDetailed
+	bad.ROBSize = 0
+	if _, err := New(bad); err == nil {
+		t.Error("accepted zero ROB")
+	}
+}
+
+func TestNewContextRejectsNilAndInvalid(t *testing.T) {
+	c := newTestCPU(t, ModeFast, 1)
+	if _, err := NewContext(nil, c.Memory(), 0); err == nil {
+		t.Error("accepted nil program")
+	}
+	badProg := &isa.Program{Name: "bad", Code: []isa.Inst{{}}}
+	if _, err := NewContext(badProg, c.Memory(), 0); err == nil {
+		t.Error("accepted invalid program")
+	}
+}
+
+type countingObserver struct{ n int }
+
+func (o *countingObserver) Retired(core int, in isa.Inst) { o.n++ }
+
+func TestRetireObserver(t *testing.T) {
+	for _, mode := range []Mode{ModeFast, ModeDetailed} {
+		c := newTestCPU(t, mode, 1)
+		loadProgram(t, c, sumProgram(10))
+		var obs countingObserver
+		c.Core(0).SetObserver(&obs)
+		c.Core(0).Run(1 << 20)
+		if uint64(obs.n) != c.Core(0).Counters().Retired() {
+			t.Errorf("%s: observer saw %d, retired %d", mode, obs.n, c.Core(0).Counters().Retired())
+		}
+	}
+}

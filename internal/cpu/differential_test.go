@@ -1,0 +1,272 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"darkarts/internal/isa"
+)
+
+// randomProgram generates a structurally valid, guaranteed-halting program:
+// a bounded counted loop whose body is a random mix of ALU, memory and
+// stack operations over a private data region.
+func randomProgram(rng *rand.Rand) *isa.Program {
+	b := isa.NewBuilder("fuzz")
+	bodyLen := 20 + rng.Intn(120)
+	iters := int64(1 + rng.Intn(50))
+
+	// Seed registers R0..R11 with random values; R12 is the loop counter.
+	for r := isa.R0; r <= isa.R11; r++ {
+		b.Movi(r, rng.Int63())
+	}
+	b.Movi(isa.R12, iters)
+	b.Label("loop")
+
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(12)) }
+	stackDepth := 0
+	for i := 0; i < bodyLen; i++ {
+		switch rng.Intn(16) {
+		case 0:
+			b.Op3(isa.ADD, reg(), reg(), reg())
+		case 1:
+			b.Op3(isa.SUB, reg(), reg(), reg())
+		case 2:
+			b.Op3(isa.XOR, reg(), reg(), reg())
+		case 3:
+			b.Op3(isa.AND, reg(), reg(), reg())
+		case 4:
+			b.Op3(isa.OR, reg(), reg(), reg())
+		case 5:
+			b.OpI(isa.ROLI, reg(), reg(), int64(rng.Intn(64)))
+		case 6:
+			b.OpI(isa.RORI, reg(), reg(), int64(rng.Intn(64)))
+		case 7:
+			b.OpI(isa.SHLI, reg(), reg(), int64(rng.Intn(64)))
+		case 8:
+			b.OpI(isa.SHRI, reg(), reg(), int64(rng.Intn(64)))
+		case 9:
+			b.Op3(isa.MUL, reg(), reg(), reg())
+		case 10:
+			b.St(isa.R28, int64(rng.Intn(512))&^7, reg())
+		case 11:
+			b.Ld(reg(), isa.R28, int64(rng.Intn(512))&^7)
+		case 12:
+			b.OpI(isa.ROL32I, reg(), reg(), int64(rng.Intn(32)))
+		case 13:
+			if stackDepth < 8 {
+				b.Push(reg())
+				stackDepth++
+			} else {
+				b.Pop(reg())
+				stackDepth--
+			}
+		case 14:
+			b.Mov(reg(), reg())
+		default:
+			b.OpI(isa.ADDI, reg(), reg(), int64(rng.Intn(1<<20)))
+		}
+	}
+	for stackDepth > 0 {
+		b.Pop(reg())
+		stackDepth--
+	}
+	b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+	b.Cmpi(isa.R12, 0)
+	b.Jcc(isa.JNE, "loop")
+	b.Halt()
+
+	p := b.MustBuild()
+	p.DataSize = 1024
+	return p
+}
+
+// TestDifferentialFastVsDetailed is the engine-equivalence property test:
+// for randomized halting programs, the functional and detailed engines
+// must produce identical architectural state and identical counter values
+// (retired, RSX, per-op histogram).
+func TestDifferentialFastVsDetailed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 40; trial++ {
+		prog := randomProgram(rng)
+
+		type outcome struct {
+			regs    [isa.NumRegs]uint64
+			retired uint64
+			rsx     uint64
+			mem     []byte
+		}
+		run := func(mode Mode) outcome {
+			cfg := DefaultConfig()
+			cfg.Cores = 1
+			cfg.Mode = mode
+			cfg.Characterize = true
+			machine, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, err := NewContext(prog, machine.Memory(), 0x100_0000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine.Core(0).LoadContext(ctx)
+			for !ctx.Halted {
+				if machine.Core(0).Run(1<<22) == 0 && !ctx.Halted {
+					t.Fatal("no progress")
+				}
+			}
+			if ctx.Fault != nil {
+				t.Fatalf("trial %d: fault %v", trial, ctx.Fault)
+			}
+			bank := machine.Core(0).Counters()
+			return outcome{
+				regs:    ctx.Regs,
+				retired: bank.Retired(),
+				rsx:     bank.RSX(),
+				mem:     machine.Memory().ReadBytes(0x100_0000, 512),
+			}
+		}
+
+		fast := run(ModeFast)
+		detailed := run(ModeDetailed)
+		if fast.regs != detailed.regs {
+			t.Fatalf("trial %d: register state diverges", trial)
+		}
+		if fast.retired != detailed.retired {
+			t.Fatalf("trial %d: retired %d vs %d", trial, fast.retired, detailed.retired)
+		}
+		if fast.rsx != detailed.rsx {
+			t.Fatalf("trial %d: RSX %d vs %d", trial, fast.rsx, detailed.rsx)
+		}
+		for i := range fast.mem {
+			if fast.mem[i] != detailed.mem[i] {
+				t.Fatalf("trial %d: memory diverges at +%d", trial, i)
+			}
+		}
+	}
+}
+
+// TestDifferentialSlicedExecution checks that chopping execution into many
+// small slices (as the scheduler does) cannot change architectural results.
+func TestDifferentialSlicedExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		prog := randomProgram(rng)
+		run := func(slice uint64) [isa.NumRegs]uint64 {
+			cfg := DefaultConfig()
+			cfg.Cores = 1
+			machine, _ := New(cfg)
+			ctx, err := NewContext(prog, machine.Memory(), 0x100_0000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine.Core(0).LoadContext(ctx)
+			for !ctx.Halted {
+				if machine.Core(0).Run(slice) == 0 && !ctx.Halted {
+					t.Fatal("no progress")
+				}
+			}
+			return ctx.Regs
+		}
+		big := run(1 << 30)
+		small := run(7)
+		if big != small {
+			t.Fatalf("trial %d: slicing changed results", trial)
+		}
+	}
+}
+
+func TestDetailedCacheFootprintAffectsIPC(t *testing.T) {
+	// A pointer-chasing loop over a cache-resident buffer must run faster
+	// than the same loop over a DRAM-sized buffer.
+	build := func(footprint int64) *isa.Program {
+		b := isa.NewBuilder("chase")
+		b.Movi(isa.R1, 0)
+		b.Movi(isa.R9, 40_000)
+		b.Label("l")
+		// Stride through the buffer with a large prime to defeat spatial
+		// locality when the footprint exceeds the caches.
+		b.OpI(isa.ADDI, isa.R1, isa.R1, 8191*8)
+		b.Movi(isa.R2, footprint-8)
+		b.Op3(isa.AND, isa.R1, isa.R1, isa.R2)
+		b.Op3(isa.ADD, isa.R3, isa.R28, isa.R1)
+		b.Ld(isa.R4, isa.R3, 0)
+		b.OpI(isa.SUBI, isa.R9, isa.R9, 1)
+		b.Cmpi(isa.R9, 0)
+		b.Jcc(isa.JNE, "l")
+		b.Halt()
+		p := b.MustBuild()
+		p.DataSize = footprint
+		return p
+	}
+	ipc := func(p *isa.Program) float64 {
+		cfg := DefaultConfig()
+		cfg.Cores = 1
+		cfg.Mode = ModeDetailed
+		machine, _ := New(cfg)
+		ctx, err := NewContext(p, machine.Memory(), 0x100_0000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine.Core(0).LoadContext(ctx)
+		for !ctx.Halted {
+			machine.Core(0).Run(1 << 22)
+		}
+		return machine.Core(0).Counters().IPC()
+	}
+	smallIPC := ipc(build(16 << 10)) // fits in L1D
+	bigIPC := ipc(build(16 << 20))  // blows through L2
+	if bigIPC >= smallIPC {
+		t.Errorf("cache model inert: small-footprint IPC %.2f <= big-footprint IPC %.2f", smallIPC, bigIPC)
+	}
+}
+
+func TestDeepCallChainUsesRAS(t *testing.T) {
+	// Nested calls to depth 12 (within the 16-entry RAS): the return
+	// addresses must predict well.
+	b := isa.NewBuilder("calls")
+	b.Movi(isa.R9, 2000)
+	b.Label("top")
+	b.Call(labelf("f", 0))
+	b.OpI(isa.SUBI, isa.R9, isa.R9, 1)
+	b.Cmpi(isa.R9, 0)
+	b.Jcc(isa.JNE, "top")
+	b.Halt()
+	for d := 0; d < 12; d++ {
+		b.Label(labelf("f", d))
+		b.OpI(isa.ADDI, isa.R1, isa.R1, 1)
+		if d < 11 {
+			b.Call(labelf("f", d+1))
+		}
+		b.Ret()
+	}
+	prog := b.MustBuild()
+
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Mode = ModeDetailed
+	machine, _ := New(cfg)
+	ctx, err := NewContext(prog, machine.Memory(), 0x100_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Core(0).LoadContext(ctx)
+	for !ctx.Halted {
+		machine.Core(0).Run(1 << 22)
+	}
+	if ctx.Fault != nil {
+		t.Fatal(ctx.Fault)
+	}
+	bank := machine.Core(0).Counters()
+	if ctx.Regs[isa.R1] != 2000*12 {
+		t.Errorf("call chain computed %d", ctx.Regs[isa.R1])
+	}
+	missRate := float64(bank.BranchMisses()) / float64(bank.Retired())
+	if missRate > 0.02 {
+		t.Errorf("RAS ineffective: miss rate %.3f", missRate)
+	}
+}
+
+func labelf(prefix string, n int) string {
+	return fmt.Sprintf("%s%d", prefix, n)
+}

@@ -1,0 +1,91 @@
+package cpu
+
+import (
+	"testing"
+
+	"darkarts/internal/isa"
+)
+
+// decodeFuzzProgram turns an arbitrary byte string into a structurally
+// valid program: opcodes are mapped into the defined range, registers
+// masked, and branch targets folded into the program. Termination is not
+// guaranteed (loops are legal) — the harness bounds the run.
+func decodeFuzzProgram(data []byte) *isa.Program {
+	if len(data) < 4 {
+		return nil
+	}
+	n := len(data) / 4
+	if n > 400 {
+		n = 400
+	}
+	ops := isa.AllOps()
+	code := make([]isa.Inst, 0, n+1)
+	for i := 0; i < n; i++ {
+		b := data[i*4 : i*4+4]
+		in := isa.Inst{
+			Op:  ops[int(b[0])%len(ops)],
+			Rd:  isa.Reg(b[1] % isa.NumRegs),
+			Rs1: isa.Reg(b[2] % isa.NumRegs),
+			Rs2: isa.Reg(b[3] % isa.NumRegs),
+			Imm: int64(b[1])<<8 | int64(b[2]),
+		}
+		if in.Op.IsBranch() && in.Op != isa.RET {
+			in.Imm = int64(int(b[3]) % (n + 1)) // in-range target
+		}
+		code = append(code, in)
+	}
+	code = append(code, isa.Inst{Op: isa.HALT})
+	p := &isa.Program{Name: "fuzz", Code: code, DataSize: 4096}
+	if p.Validate() != nil {
+		return nil
+	}
+	return p
+}
+
+// FuzzExecutorNeverPanics feeds arbitrary well-formed programs to both
+// engines: execution must end in HALT, a recorded fault, or budget
+// exhaustion — never a panic, and never counter divergence on clean runs.
+func FuzzExecutorNeverPanics(f *testing.F) {
+	f.Add([]byte("seed-one-0123456789abcdef0123456789"))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(make([]byte, 256))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := decodeFuzzProgram(data)
+		if prog == nil {
+			t.Skip()
+		}
+		run := func(mode Mode) (retired uint64, fault error) {
+			cfg := DefaultConfig()
+			cfg.Cores = 1
+			cfg.Mode = mode
+			machine, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, err := NewContext(prog, machine.Memory(), 0x100_0000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine.Core(0).LoadContext(ctx)
+			var budget uint64 = 200_000
+			for budget > 0 && !ctx.Halted {
+				ran := machine.Core(0).Run(budget)
+				if ran == 0 && !ctx.Halted {
+					t.Fatal("no progress without halt")
+				}
+				budget -= ran
+			}
+			return machine.Core(0).Counters().Retired(), ctx.Fault
+		}
+		fr, ff := run(ModeFast)
+		dr, df := run(ModeDetailed)
+		if (ff == nil) != (df == nil) {
+			t.Fatalf("fault divergence: fast=%v detailed=%v", ff, df)
+		}
+		if ff == nil && fr != dr {
+			// Both clean: instruction counts must agree (both either
+			// halted or exhausted the same budget deterministically).
+			t.Fatalf("retired divergence: fast=%d detailed=%d", fr, dr)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"testing"
+
+	"darkarts/internal/isa"
+)
+
+func TestPipelineStatsPopulated(t *testing.T) {
+	// A branchy, memory-touching loop must populate the stats.
+	b := isa.NewBuilder("statsy")
+	b.Movi(isa.R9, 30000)
+	b.Movi(isa.R1, 0)
+	b.Label("l")
+	b.Ld(isa.R2, isa.R28, 0)
+	b.St(isa.R28, 8, isa.R2)
+	b.OpI(isa.ANDI, isa.R3, isa.R9, 7)
+	b.Cmpi(isa.R3, 3)
+	b.Jcc(isa.JE, "skip")
+	b.OpI(isa.ADDI, isa.R1, isa.R1, 1)
+	b.Label("skip")
+	b.OpI(isa.SUBI, isa.R9, isa.R9, 1)
+	b.Cmpi(isa.R9, 0)
+	b.Jcc(isa.JNE, "l")
+	b.Halt()
+	prog := b.MustBuild()
+	prog.DataSize = 64
+
+	c := newTestCPU(t, ModeDetailed, 1)
+	loadProgram(t, c, prog)
+	core := c.Core(0)
+	core.Run(1 << 22)
+
+	st := core.PipelineStats()
+	if st.LoadsIssued == 0 || st.StoresIssued == 0 {
+		t.Errorf("memory stats empty: %+v", st)
+	}
+	if st.FetchRedirects == 0 {
+		t.Error("no fetch redirects despite data-dependent branch")
+	}
+	if st.FetchRedirects != core.Counters().BranchMisses() {
+		t.Errorf("redirects %d != branch misses %d", st.FetchRedirects, core.Counters().BranchMisses())
+	}
+}
+
+func TestROBFullStallsOnLongLatencyChain(t *testing.T) {
+	// A stream of independent single-cycle ops behind a long-latency
+	// divide chain fills the ROB and must record rename stalls.
+	b := isa.NewBuilder("robfull")
+	b.Movi(isa.R1, 1)
+	b.Movi(isa.R2, 3)
+	b.Movi(isa.R9, 500)
+	b.Label("l")
+	for i := 0; i < 4; i++ {
+		b.Op3(isa.DIV, isa.R3, isa.R3, isa.R2) // unpipelined, serial
+		b.OpI(isa.ADDI, isa.R3, isa.R3, 97)
+	}
+	for i := 0; i < 250; i++ {
+		b.Op3(isa.ADD, isa.Reg(4+(i%8)), isa.R1, isa.R1)
+	}
+	b.OpI(isa.SUBI, isa.R9, isa.R9, 1)
+	b.Cmpi(isa.R9, 0)
+	b.Jcc(isa.JNE, "l")
+	b.Halt()
+
+	c := newTestCPU(t, ModeDetailed, 1)
+	loadProgram(t, c, b.MustBuild())
+	c.Core(0).Run(1 << 22)
+	if st := c.Core(0).PipelineStats(); st.ROBFullStalls == 0 {
+		t.Errorf("no ROB-full stalls: %+v", st)
+	}
+}
+
+func TestFastModeStatsStayZero(t *testing.T) {
+	c := newTestCPU(t, ModeFast, 1)
+	loadProgram(t, c, sumProgram(1000))
+	c.Core(0).Run(1 << 20)
+	if st := c.Core(0).PipelineStats(); st != (PipelineStats{}) {
+		t.Errorf("fast mode populated pipeline stats: %+v", st)
+	}
+}

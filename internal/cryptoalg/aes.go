@@ -1,0 +1,133 @@
+package cryptoalg
+
+import "encoding/binary"
+
+// AES-128 implemented with the classic four T-table construction — the
+// structure software miners (e.g. CryptoNight's software AES path) compile
+// to, and the source of AES's shift/xor-heavy instruction profile in the
+// paper's Figure 5/7.
+
+// aesSbox is the AES S-box, generated at init from the finite-field inverse
+// and affine transform rather than pasted as opaque constants.
+var aesSbox [256]byte
+
+// aesTe0..3 are the round-transform tables.
+var aesTe [4][256]uint32
+
+// aesRcon holds the key-schedule round constants.
+var aesRcon = [10]byte{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
+
+func gfMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func init() {
+	// Build the S-box: multiplicative inverse in GF(2^8) then affine map.
+	var inv [256]byte
+	for a := 1; a < 256; a++ {
+		if inv[a] != 0 {
+			continue
+		}
+		for x := 1; x < 256; x++ {
+			if gfMul(byte(a), byte(x)) == 1 {
+				inv[a] = byte(x)
+				inv[x] = byte(a)
+				break
+			}
+		}
+	}
+	for i := 0; i < 256; i++ {
+		x := inv[i]
+		s := x ^ rotlb(x, 1) ^ rotlb(x, 2) ^ rotlb(x, 3) ^ rotlb(x, 4) ^ 0x63
+		aesSbox[i] = s
+	}
+	// Build the T-tables: Te0[b] = (2s, s, s, 3s) rotated for Te1..3.
+	for i := 0; i < 256; i++ {
+		s := aesSbox[i]
+		s2 := gfMul(s, 2)
+		s3 := gfMul(s, 3)
+		t := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		aesTe[0][i] = t
+		aesTe[1][i] = t>>8 | t<<24
+		aesTe[2][i] = t>>16 | t<<16
+		aesTe[3][i] = t>>24 | t<<8
+	}
+}
+
+func rotlb(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+// AESExpandKey128 expands a 16-byte key into 11 round keys (44 words).
+func AESExpandKey128(key []byte) [44]uint32 {
+	var rk [44]uint32
+	for i := 0; i < 4; i++ {
+		rk[i] = binary.BigEndian.Uint32(key[i*4:])
+	}
+	for i := 4; i < 44; i++ {
+		t := rk[i-1]
+		if i%4 == 0 {
+			t = subWord(t<<8|t>>24) ^ uint32(aesRcon[i/4-1])<<24
+		}
+		rk[i] = rk[i-4] ^ t
+	}
+	return rk
+}
+
+func subWord(w uint32) uint32 {
+	return uint32(aesSbox[w>>24])<<24 | uint32(aesSbox[w>>16&0xff])<<16 |
+		uint32(aesSbox[w>>8&0xff])<<8 | uint32(aesSbox[w&0xff])
+}
+
+// AESEncryptBlock128 encrypts one 16-byte block with the expanded key.
+func AESEncryptBlock128(rk *[44]uint32, dst, src []byte) {
+	s0 := binary.BigEndian.Uint32(src[0:]) ^ rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:]) ^ rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:]) ^ rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:]) ^ rk[3]
+
+	for r := 1; r < 10; r++ {
+		t0 := aesTe[0][s0>>24] ^ aesTe[1][s1>>16&0xff] ^ aesTe[2][s2>>8&0xff] ^ aesTe[3][s3&0xff] ^ rk[r*4]
+		t1 := aesTe[0][s1>>24] ^ aesTe[1][s2>>16&0xff] ^ aesTe[2][s3>>8&0xff] ^ aesTe[3][s0&0xff] ^ rk[r*4+1]
+		t2 := aesTe[0][s2>>24] ^ aesTe[1][s3>>16&0xff] ^ aesTe[2][s0>>8&0xff] ^ aesTe[3][s1&0xff] ^ rk[r*4+2]
+		t3 := aesTe[0][s3>>24] ^ aesTe[1][s0>>16&0xff] ^ aesTe[2][s1>>8&0xff] ^ aesTe[3][s2&0xff] ^ rk[r*4+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+
+	// Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+	o0 := uint32(aesSbox[s0>>24])<<24 | uint32(aesSbox[s1>>16&0xff])<<16 | uint32(aesSbox[s2>>8&0xff])<<8 | uint32(aesSbox[s3&0xff])
+	o1 := uint32(aesSbox[s1>>24])<<24 | uint32(aesSbox[s2>>16&0xff])<<16 | uint32(aesSbox[s3>>8&0xff])<<8 | uint32(aesSbox[s0&0xff])
+	o2 := uint32(aesSbox[s2>>24])<<24 | uint32(aesSbox[s3>>16&0xff])<<16 | uint32(aesSbox[s0>>8&0xff])<<8 | uint32(aesSbox[s1&0xff])
+	o3 := uint32(aesSbox[s3>>24])<<24 | uint32(aesSbox[s0>>16&0xff])<<16 | uint32(aesSbox[s1>>8&0xff])<<8 | uint32(aesSbox[s2&0xff])
+	binary.BigEndian.PutUint32(dst[0:], o0^rk[40])
+	binary.BigEndian.PutUint32(dst[4:], o1^rk[41])
+	binary.BigEndian.PutUint32(dst[8:], o2^rk[42])
+	binary.BigEndian.PutUint32(dst[12:], o3^rk[43])
+}
+
+// AESEncryptECB encrypts len(src) bytes (must be a multiple of 16) in ECB
+// mode. Used by workload generators; real confidentiality code would use an
+// authenticated mode, but the instruction profile is what matters here.
+func AESEncryptECB(key, dst, src []byte) {
+	rk := AESExpandKey128(key)
+	for off := 0; off+16 <= len(src); off += 16 {
+		AESEncryptBlock128(&rk, dst[off:off+16], src[off:off+16])
+	}
+}
+
+// SboxTable returns a copy of the AES S-box (for the ISA kernel's data
+// segment).
+func SboxTable() [256]byte { return aesSbox }
+
+// TeTables returns a copy of the four AES T-tables.
+func TeTables() [4][256]uint32 { return aesTe }

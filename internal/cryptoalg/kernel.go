@@ -1,0 +1,55 @@
+package cryptoalg
+
+import "encoding/binary"
+
+// The kernel_*.go files generate ISA programs for the simulated processor.
+// Conventions shared by all kernels:
+//
+//   - R28 holds the data-region base address on entry (set by cpu.NewContext).
+//   - Each Build*Program function returns the program plus a layout value
+//     giving byte offsets (relative to the data base) where the harness
+//     writes inputs and reads outputs.
+//   - Multi-word values cross the ISA boundary in the machine's native
+//     little-endian order; Go-side wrappers do any big-endian framing the
+//     algorithm specification requires. The arithmetic — and therefore the
+//     instruction profile the defense observes — is unaffected.
+
+// dataAlloc is a bump allocator for a program's data region.
+type dataAlloc struct {
+	buf []byte
+}
+
+// reserve returns the offset of n fresh zero bytes aligned to align.
+func (d *dataAlloc) reserve(n, align int) int64 {
+	for len(d.buf)%align != 0 {
+		d.buf = append(d.buf, 0)
+	}
+	off := len(d.buf)
+	d.buf = append(d.buf, make([]byte, n)...)
+	return int64(off)
+}
+
+// putU64s appends 64-bit constants and returns their offset.
+func (d *dataAlloc) putU64s(vals []uint64) int64 {
+	off := d.reserve(len(vals)*8, 8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(d.buf[int(off)+i*8:], v)
+	}
+	return off
+}
+
+// putU32s appends 32-bit constants and returns their offset.
+func (d *dataAlloc) putU32s(vals []uint32) int64 {
+	off := d.reserve(len(vals)*4, 4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(d.buf[int(off)+i*4:], v)
+	}
+	return off
+}
+
+// putBytes appends raw bytes and returns their offset.
+func (d *dataAlloc) putBytes(b []byte) int64 {
+	off := d.reserve(len(b), 8)
+	copy(d.buf[int(off):], b)
+	return off
+}

@@ -1,0 +1,196 @@
+package cryptoalg
+
+import (
+	"encoding/binary"
+
+	"darkarts/internal/isa"
+)
+
+// AESLayout gives the data-region offsets of an AES-128 encryption program.
+type AESLayout struct {
+	RoundKeys int64 // 44 x 4B expanded key (host order)
+	Src       int64 // NBlocks x 16B plaintext (4 host-order words per block)
+	Dst       int64 // NBlocks x 16B ciphertext
+	NBlk      int64 // 8B cell: number of 16-byte blocks
+	MaxBlk    int
+}
+
+// EmitAESEncrypt emits the "aes_blocks" subroutine: T-table AES-128
+// encryption of the block sequence addressed by R20 into R22 (R21 = block
+// count), with round keys at R17, the four Te tables at R18 (4 x 1KB,
+// contiguous), and the S-box at R19.
+//
+// This is the software-AES structure CryptoNight compiles to: per column,
+// three shifts isolate the state bytes, four table loads and four XORs
+// combine them — the source of AES's shift/xor-heavy profile in the
+// paper's Figures 5 and 7.
+func EmitAESEncrypt(b *isa.Builder) {
+	const (
+		regRK  = isa.R17
+		regTe  = isa.R18
+		regSb  = isa.R19
+		regSrc = isa.R20
+		regN   = isa.R21
+		regDst = isa.R22
+		t0     = isa.R1
+		t1     = isa.R2
+		idx    = isa.R3
+		acc    = isa.R4
+		rnd    = isa.R7
+		rkPtr  = isa.R16
+	)
+	// State columns s0..s3 in R8..R11; next state t in R12..R15.
+	s := [4]isa.Reg{isa.R8, isa.R9, isa.R10, isa.R11}
+	nx := [4]isa.Reg{isa.R12, isa.R13, isa.R14, isa.R15}
+
+	// term emits acc ^= Te[table][byte(sReg >> shift)]. The *4 entry
+	// scaling folds into the extraction shift (x86 uses scaled addressing
+	// here, so an explicit shift-left would inflate the SL signature):
+	// ((s >> n) & 0xff) * 4 == (s >> (n-2)) & 0x3FC.
+	term := func(first bool, table int, sReg isa.Reg, shift int64) {
+		if shift == 0 {
+			b.OpI(isa.SHLI, idx, sReg, 2)
+		} else {
+			b.OpI(isa.SHRI, idx, sReg, shift-2)
+		}
+		b.OpI(isa.ANDI, idx, idx, 0x3FC)
+		b.Op3(isa.ADD, idx, idx, regTe)
+		if off := int64(table * 1024); off != 0 {
+			b.OpI(isa.ADDI, idx, idx, off)
+		}
+		if first {
+			b.Ld32(acc, idx, 0)
+		} else {
+			b.Ld32(t0, idx, 0)
+			b.Op3(isa.XOR, acc, acc, t0)
+		}
+	}
+
+	b.Label("aes_blocks")
+	b.Label("aes_block_loop")
+	b.Cmpi(regN, 0)
+	b.Jcc(isa.JE, "aes_done")
+
+	// Initial whitening: s[i] = src[i] ^ rk[i].
+	for i := 0; i < 4; i++ {
+		b.Ld32(s[i], regSrc, int64(4*i))
+		b.Ld32(t0, regRK, int64(4*i))
+		b.Op3(isa.XOR, s[i], s[i], t0)
+	}
+
+	// Rounds 1..9 (loop; the column structure is identical each round).
+	b.OpI(isa.LEA, rkPtr, regRK, 16)
+	b.Movi(rnd, 9)
+	b.Label("aes_round")
+	for col := 0; col < 4; col++ {
+		term(true, 0, s[col], 24)
+		term(false, 1, s[(col+1)%4], 16)
+		term(false, 2, s[(col+2)%4], 8)
+		term(false, 3, s[(col+3)%4], 0)
+		b.Ld32(t1, rkPtr, int64(4*col))
+		b.Op3(isa.XOR, nx[col], acc, t1)
+	}
+	for i := 0; i < 4; i++ {
+		b.Mov(s[i], nx[i])
+	}
+	b.OpI(isa.ADDI, rkPtr, rkPtr, 16)
+	b.OpI(isa.SUBI, rnd, rnd, 1)
+	b.Cmpi(rnd, 0)
+	b.Jcc(isa.JNE, "aes_round")
+
+	// Final round: SubBytes + ShiftRows + AddRoundKey via the S-box.
+	sbByte := func(first bool, sReg isa.Reg, shift, outShift int64) {
+		switch shift {
+		case 24:
+			b.OpI(isa.SHRI, idx, sReg, 24)
+		case 0:
+			b.OpI(isa.ANDI, idx, sReg, 0xff)
+		default:
+			b.OpI(isa.SHRI, idx, sReg, shift)
+			b.OpI(isa.ANDI, idx, idx, 0xff)
+		}
+		b.Op3(isa.ADD, idx, idx, regSb)
+		b.Ld8(t0, idx, 0)
+		if outShift != 0 {
+			b.OpI(isa.SHLI, t0, t0, outShift)
+		}
+		if first {
+			b.Mov(acc, t0)
+		} else {
+			b.Op3(isa.OR, acc, acc, t0)
+		}
+	}
+	for col := 0; col < 4; col++ {
+		sbByte(true, s[col], 24, 24)
+		sbByte(false, s[(col+1)%4], 16, 16)
+		sbByte(false, s[(col+2)%4], 8, 8)
+		sbByte(false, s[(col+3)%4], 0, 0)
+		b.Ld32(t1, rkPtr, int64(4*col))
+		b.Op3(isa.XOR, acc, acc, t1)
+		b.St32(regDst, int64(4*col), acc)
+	}
+
+	b.OpI(isa.ADDI, regSrc, regSrc, 16)
+	b.OpI(isa.ADDI, regDst, regDst, 16)
+	b.OpI(isa.SUBI, regN, regN, 1)
+	b.Jmp("aes_block_loop")
+
+	b.Label("aes_done")
+	b.Ret()
+}
+
+// BuildAESProgram returns a program encrypting up to maxBlocks 16-byte
+// blocks with the given 16-byte key (expanded at build time, as real
+// miners do once per job).
+func BuildAESProgram(key []byte, maxBlocks int) (*isa.Program, AESLayout) {
+	rk := AESExpandKey128(key)
+	te := TeTables()
+	sbox := SboxTable()
+
+	var d dataAlloc
+	lay := AESLayout{MaxBlk: maxBlocks}
+	lay.RoundKeys = d.putU32s(rk[:])
+	teOff := d.reserve(0, 8)
+	for t := 0; t < 4; t++ {
+		d.putU32s(te[t][:])
+	}
+	sbOff := d.putBytes(sbox[:])
+	lay.NBlk = d.reserve(8, 8)
+	lay.Src = d.reserve(maxBlocks*16, 8)
+	lay.Dst = d.reserve(maxBlocks*16, 8)
+
+	b := isa.NewBuilder("aes128")
+	b.OpI(isa.LEA, isa.R17, isa.R28, lay.RoundKeys)
+	b.OpI(isa.LEA, isa.R18, isa.R28, teOff)
+	b.OpI(isa.LEA, isa.R19, isa.R28, sbOff)
+	b.OpI(isa.LEA, isa.R20, isa.R28, lay.Src)
+	b.Ld(isa.R21, isa.R28, lay.NBlk)
+	b.OpI(isa.LEA, isa.R22, isa.R28, lay.Dst)
+	b.Call("aes_blocks")
+	b.Halt()
+	EmitAESEncrypt(b)
+
+	p := b.MustBuild()
+	p.Data = d.buf
+	p.DataSize = int64(len(d.buf))
+	return p, lay
+}
+
+// PackAESBlocks converts big-endian AES state words to the kernel's host
+// order (and back — the transform is an involution applied wordwise).
+func PackAESBlocks(src []byte) []byte {
+	out := make([]byte, len(src))
+	for i := 0; i+4 <= len(src); i += 4 {
+		out[i], out[i+1], out[i+2], out[i+3] = src[i+3], src[i+2], src[i+1], src[i]
+	}
+	return out
+}
+
+// aesLayoutWordsToBytes is used by tests to convert kernel output words.
+func aesLayoutWordsToBytes(words []uint32) []byte {
+	out := make([]byte, len(words)*4)
+	for i, w := range words {
+		binary.BigEndian.PutUint32(out[i*4:], w)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package cryptoalg
+
+import (
+	"encoding/binary"
+
+	"darkarts/internal/isa"
+)
+
+// Blake2bLayout gives the data-region offsets of a BLAKE2b program.
+type Blake2bLayout struct {
+	H       int64 // 8 x 8B chain state (input: parameterised IV; output: digest)
+	Records int64 // NRec x 144B records: 128B block + 8B t + 8B final mask
+	NRec    int64 // 8B cell: number of records
+	MaxRec  int
+}
+
+// blake2bRecordSize is one compression record: message block, byte counter,
+// finalization mask (0 or ^0).
+const blake2bRecordSize = 144
+
+// EmitBlake2bCompress emits the "blake2b_blocks" subroutine: runs the
+// BLAKE2b compression function F over the record sequence addressed by R20
+// (R21 = record count) against the chain state addressed by R17, with the
+// IV table addressed by R18 and the 16-lane working vector v at R19.
+//
+// The G function is pure 64-bit add/xor/rotate (rotations by 32, 24, 16,
+// 63) — the BLAKE2 structure the paper cites as one of the hash components
+// of anonymous cryptocurrencies (Section II-C).
+func EmitBlake2bCompress(b *isa.Builder) {
+	const (
+		regH   = isa.R17
+		regIV  = isa.R18
+		regV   = isa.R19
+		regRec = isa.R20
+		regN   = isa.R21
+		va     = isa.R8
+		vb     = isa.R9
+		vc     = isa.R10
+		vd     = isa.R11
+		mx     = isa.R12
+		my     = isa.R13
+		tmp    = isa.R1
+	)
+
+	// g emits one G(a,b,c,d,x,y) with v lanes in memory and the message
+	// words mi/mj loaded from the current record.
+	g := func(ai, bi, ci, di int, mi, mj byte) {
+		b.Ld(va, regV, int64(8*ai))
+		b.Ld(vb, regV, int64(8*bi))
+		b.Ld(vc, regV, int64(8*ci))
+		b.Ld(vd, regV, int64(8*di))
+		b.Ld(mx, regRec, int64(8*int64(mi)))
+		b.Ld(my, regRec, int64(8*int64(mj)))
+
+		b.Op3(isa.ADD, va, va, vb)
+		b.Op3(isa.ADD, va, va, mx)
+		b.Op3(isa.XOR, vd, vd, va)
+		b.OpI(isa.RORI, vd, vd, 32)
+		b.Op3(isa.ADD, vc, vc, vd)
+		b.Op3(isa.XOR, vb, vb, vc)
+		b.OpI(isa.RORI, vb, vb, 24)
+		b.Op3(isa.ADD, va, va, vb)
+		b.Op3(isa.ADD, va, va, my)
+		b.Op3(isa.XOR, vd, vd, va)
+		b.OpI(isa.RORI, vd, vd, 16)
+		b.Op3(isa.ADD, vc, vc, vd)
+		b.Op3(isa.XOR, vb, vb, vc)
+		b.OpI(isa.RORI, vb, vb, 63)
+
+		b.St(regV, int64(8*ai), va)
+		b.St(regV, int64(8*bi), vb)
+		b.St(regV, int64(8*ci), vc)
+		b.St(regV, int64(8*di), vd)
+	}
+
+	b.Label("blake2b_blocks")
+	b.Label("blake2b_rec_loop")
+	b.Cmpi(regN, 0)
+	b.Jcc(isa.JE, "blake2b_done")
+
+	// v[0..7] = h, v[8..15] = IV.
+	for i := 0; i < 8; i++ {
+		b.Ld(tmp, regH, int64(8*i))
+		b.St(regV, int64(8*i), tmp)
+	}
+	for i := 0; i < 8; i++ {
+		b.Ld(tmp, regIV, int64(8*i))
+		b.St(regV, int64(8*(i+8)), tmp)
+	}
+	// v12 ^= t; v14 ^= finalMask.
+	b.Ld(tmp, regRec, 128)
+	b.Ld(va, regV, 8*12)
+	b.Op3(isa.XOR, va, va, tmp)
+	b.St(regV, 8*12, va)
+	b.Ld(tmp, regRec, 136)
+	b.Ld(va, regV, 8*14)
+	b.Op3(isa.XOR, va, va, tmp)
+	b.St(regV, 8*14, va)
+
+	// 12 rounds, sigma schedule unrolled.
+	for r := 0; r < 12; r++ {
+		s := &blake2bSigma[r]
+		g(0, 4, 8, 12, s[0], s[1])
+		g(1, 5, 9, 13, s[2], s[3])
+		g(2, 6, 10, 14, s[4], s[5])
+		g(3, 7, 11, 15, s[6], s[7])
+		g(0, 5, 10, 15, s[8], s[9])
+		g(1, 6, 11, 12, s[10], s[11])
+		g(2, 7, 8, 13, s[12], s[13])
+		g(3, 4, 9, 14, s[14], s[15])
+	}
+
+	// h[i] ^= v[i] ^ v[i+8].
+	for i := 0; i < 8; i++ {
+		b.Ld(tmp, regH, int64(8*i))
+		b.Ld(va, regV, int64(8*i))
+		b.Op3(isa.XOR, tmp, tmp, va)
+		b.Ld(va, regV, int64(8*(i+8)))
+		b.Op3(isa.XOR, tmp, tmp, va)
+		b.St(regH, int64(8*i), tmp)
+	}
+
+	b.OpI(isa.ADDI, regRec, regRec, blake2bRecordSize)
+	b.OpI(isa.SUBI, regN, regN, 1)
+	b.Jmp("blake2b_rec_loop")
+
+	b.Label("blake2b_done")
+	b.Ret()
+}
+
+// BuildBlake2bProgram returns a program compressing up to maxRecords
+// BLAKE2b records against a chain state initialised for an unkeyed digest
+// of outLen bytes. PackBlake2bRecords builds the record stream.
+func BuildBlake2bProgram(outLen, maxRecords int) (*isa.Program, Blake2bLayout) {
+	if outLen < 1 || outLen > 64 {
+		panic("cryptoalg: blake2b output length out of range")
+	}
+	h := blake2bIV
+	h[0] ^= 0x01010000 ^ uint64(outLen)
+
+	var d dataAlloc
+	lay := Blake2bLayout{MaxRec: maxRecords}
+	lay.H = d.putU64s(h[:])
+	ivOff := d.putU64s(blake2bIV[:])
+	vOff := d.reserve(16*8, 8)
+	lay.NRec = d.reserve(8, 8)
+	lay.Records = d.reserve(maxRecords*blake2bRecordSize, 8)
+
+	b := isa.NewBuilder("blake2b")
+	b.OpI(isa.LEA, isa.R17, isa.R28, lay.H)
+	b.OpI(isa.LEA, isa.R18, isa.R28, ivOff)
+	b.OpI(isa.LEA, isa.R19, isa.R28, vOff)
+	b.OpI(isa.LEA, isa.R20, isa.R28, lay.Records)
+	b.Ld(isa.R21, isa.R28, lay.NRec)
+	b.Call("blake2b_blocks")
+	b.Halt()
+	EmitBlake2bCompress(b)
+
+	p := b.MustBuild()
+	p.Data = d.buf
+	p.DataSize = int64(len(d.buf))
+	return p, lay
+}
+
+// PackBlake2bRecords converts msg into the kernel's compression records.
+func PackBlake2bRecords(msg []byte) []byte {
+	n := len(msg)
+	nRec := 1
+	if n > 128 {
+		nRec = (n + 127) / 128
+		if n%128 == 0 {
+			nRec = n / 128
+		}
+	}
+	out := make([]byte, nRec*blake2bRecordSize)
+	off := 0
+	for i := 0; i < nRec; i++ {
+		rec := out[i*blake2bRecordSize:]
+		final := i == nRec-1
+		var t uint64
+		if final {
+			copy(rec[:128], msg[off:])
+			t = uint64(n)
+			binary.LittleEndian.PutUint64(rec[136:], ^uint64(0))
+		} else {
+			copy(rec[:128], msg[off:off+128])
+			t = uint64(off) + 128
+		}
+		binary.LittleEndian.PutUint64(rec[128:], t)
+		off += 128
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package cryptoalg
+
+import "darkarts/internal/isa"
+
+// KeccakLayout gives the data-region offsets of a Keccak hash program.
+type KeccakLayout struct {
+	State  int64 // 25 x 8B state lanes (also digest output: first 32B)
+	Msg    int64 // padded message area (NBlocks x 136B, little-endian lanes)
+	NBlk   int64 // 8B cell: number of 136-byte rate blocks to absorb
+	MaxBlk int   // capacity of the message area in blocks
+}
+
+// Register conventions inside the keccakf subroutine.
+const (
+	kRegState = isa.R27 // state base address
+	kRegB     = isa.R26 // scratch (pi/rho output) base address
+	kRegRC    = isa.R24 // round-constant table cursor
+	kRegRound = isa.R25 // remaining round counter
+)
+
+// EmitKeccakF emits the "keccakf" subroutine: the full 24-round
+// Keccak-f[1600] permutation over the 25-lane state addressed by R27,
+// using the 200-byte scratch region addressed by R26 and the RC table
+// addressed by R24 (the subroutine advances neither caller register; it
+// works on copies). Call with isa.Builder.Call("keccakf").
+//
+// The emitted code mirrors the paper's Section II-C equations: theta is
+// XOR/rotate diffusion, rho/pi are rotations into the scratch array, chi is
+// the not-and-xor nonlinearity, iota folds in the round constant. The
+// static opcode histogram of this subroutine is the reproduction of the
+// paper's Figure 1 (objdump of Monero's keccakf()).
+func EmitKeccakF(b *isa.Builder) {
+	const (
+		tmp  = isa.R5
+		tmp2 = isa.R6
+		tmp3 = isa.R7
+		rc   = isa.R23 // per-call RC cursor copy
+	)
+	cReg := [5]isa.Reg{isa.R0, isa.R1, isa.R2, isa.R3, isa.R4}
+
+	b.Label("keccakf")
+	// Save a working copy of the RC cursor and the round counter.
+	b.Push(kRegRC)
+	b.Push(kRegRound)
+	b.Mov(rc, kRegRC)
+	b.Movi(kRegRound, 24)
+
+	b.Label("keccakf_round")
+
+	// --- theta ---
+	// C[x] = A[x,0] ^ A[x,1] ^ A[x,2] ^ A[x,3] ^ A[x,4]   (eq. 1a)
+	for x := 0; x < 5; x++ {
+		b.Ld(cReg[x], kRegState, int64(8*x))
+		for y := 1; y < 5; y++ {
+			b.Ld(tmp, kRegState, int64(8*(x+5*y)))
+			b.Op3(isa.XOR, cReg[x], cReg[x], tmp)
+		}
+	}
+	// D[x] = C[x-1] ^ R1(C[x+1]); A[x,y] ^= D[x]           (eq. 1b, 1c)
+	for x := 0; x < 5; x++ {
+		b.OpI(isa.ROLI, tmp, cReg[(x+1)%5], 1)
+		b.Op3(isa.XOR, tmp, tmp, cReg[(x+4)%5])
+		for y := 0; y < 5; y++ {
+			b.Ld(tmp2, kRegState, int64(8*(x+5*y)))
+			b.Op3(isa.XOR, tmp2, tmp2, tmp)
+			b.St(kRegState, int64(8*(x+5*y)), tmp2)
+		}
+	}
+
+	// --- rho + pi: B[y,2x+3y] = R^r[x,y](A[x,y])          (eq. 2) ---
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			b.Ld(tmp, kRegState, int64(8*(x+5*y)))
+			if rot := keccakRotc[x][y]; rot != 0 {
+				b.OpI(isa.ROLI, tmp, tmp, int64(rot))
+			}
+			nx, ny := y, (2*x+3*y)%5
+			b.St(kRegB, int64(8*(nx+5*ny)), tmp)
+		}
+	}
+
+	// --- chi: A[x,y] = B[x,y] ^ (~B[x+1,y] & B[x+2,y])    (eq. 3) ---
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			b.Ld(tmp, kRegB, int64(8*(x+5*y)))
+			b.Ld(tmp2, kRegB, int64(8*((x+1)%5+5*y)))
+			b.Ld(tmp3, kRegB, int64(8*((x+2)%5+5*y)))
+			b.Emit(isa.Inst{Op: isa.NOT, Rd: tmp2, Rs1: tmp2})
+			b.Op3(isa.AND, tmp2, tmp2, tmp3)
+			b.Op3(isa.XOR, tmp, tmp, tmp2)
+			b.St(kRegState, int64(8*(x+5*y)), tmp)
+		}
+	}
+
+	// --- iota: A[0,0] ^= RC[i]                            (eq. 4) ---
+	b.Ld(tmp, rc, 0)
+	b.Ld(tmp2, kRegState, 0)
+	b.Op3(isa.XOR, tmp2, tmp2, tmp)
+	b.St(kRegState, 0, tmp2)
+	b.OpI(isa.ADDI, rc, rc, 8)
+
+	b.OpI(isa.SUBI, kRegRound, kRegRound, 1)
+	b.Cmpi(kRegRound, 0)
+	b.Jcc(isa.JNE, "keccakf_round")
+
+	b.Pop(kRegRound)
+	b.Pop(kRegRC)
+	b.Ret()
+}
+
+// BuildKeccakFProgram returns a program that runs one Keccak-f[1600]
+// permutation over the 200-byte state placed at layout.State and halts.
+func BuildKeccakFProgram() (*isa.Program, KeccakLayout) {
+	var d dataAlloc
+	lay := KeccakLayout{}
+	lay.State = d.reserve(200, 8)
+	scratch := d.reserve(200, 8)
+	rcOff := d.putU64s(keccakRC[:])
+
+	b := isa.NewBuilder("keccakf1600")
+	b.OpI(isa.LEA, kRegState, isa.R28, lay.State)
+	b.OpI(isa.LEA, kRegB, isa.R28, scratch)
+	b.OpI(isa.LEA, kRegRC, isa.R28, rcOff)
+	b.Call("keccakf")
+	b.Halt()
+	EmitKeccakF(b)
+
+	p := b.MustBuild()
+	p.Data = d.buf
+	p.DataSize = int64(len(d.buf))
+	return p, lay
+}
+
+// BuildKeccakHashProgram returns a program that absorbs up to maxBlocks
+// pre-padded 136-byte rate blocks (count read at runtime from layout.NBlk)
+// into a zero state and halts. The 32-byte digest is the prefix of the
+// state. The harness performs Keccak padding (pad byte 0x01 or 0x06) when
+// writing the message area; PadKeccak does this.
+func BuildKeccakHashProgram(maxBlocks int) (*isa.Program, KeccakLayout) {
+	var d dataAlloc
+	lay := KeccakLayout{MaxBlk: maxBlocks}
+	lay.State = d.reserve(200, 8)
+	scratch := d.reserve(200, 8)
+	rcOff := d.putU64s(keccakRC[:])
+	lay.NBlk = d.reserve(8, 8)
+	lay.Msg = d.reserve(maxBlocks*sha3Rate256, 8)
+
+	const (
+		regMsg = isa.R20 // message cursor
+		regN   = isa.R21 // remaining blocks
+		tmp    = isa.R5
+		tmp2   = isa.R6
+	)
+
+	b := isa.NewBuilder("keccak-hash")
+	b.OpI(isa.LEA, kRegState, isa.R28, lay.State)
+	b.OpI(isa.LEA, kRegB, isa.R28, scratch)
+	b.OpI(isa.LEA, kRegRC, isa.R28, rcOff)
+	b.OpI(isa.LEA, regMsg, isa.R28, lay.Msg)
+	b.Ld(regN, isa.R28, lay.NBlk)
+
+	b.Label("absorb")
+	b.Cmpi(regN, 0)
+	b.Jcc(isa.JE, "done")
+	// XOR the 17 rate lanes into the state.
+	for i := 0; i < sha3Rate256/8; i++ {
+		b.Ld(tmp, regMsg, int64(8*i))
+		b.Ld(tmp2, kRegState, int64(8*i))
+		b.Op3(isa.XOR, tmp2, tmp2, tmp)
+		b.St(kRegState, int64(8*i), tmp2)
+	}
+	b.Call("keccakf")
+	b.OpI(isa.ADDI, regMsg, regMsg, sha3Rate256)
+	b.OpI(isa.SUBI, regN, regN, 1)
+	b.Jmp("absorb")
+
+	b.Label("done")
+	b.Halt()
+	EmitKeccakF(b)
+
+	p := b.MustBuild()
+	p.Data = d.buf
+	p.DataSize = int64(len(d.buf))
+	return p, lay
+}
+
+// PadKeccak returns msg padded to whole 136-byte rate blocks with the given
+// domain pad byte (0x01 legacy Keccak, 0x06 SHA-3).
+func PadKeccak(msg []byte, pad byte) []byte {
+	rate := sha3Rate256
+	n := (len(msg)/rate + 1) * rate
+	out := make([]byte, n)
+	copy(out, msg)
+	out[len(msg)] = pad
+	out[n-1] |= 0x80
+	return out
+}

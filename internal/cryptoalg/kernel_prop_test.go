@@ -1,0 +1,132 @@
+package cryptoalg_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"darkarts/internal/cryptoalg"
+	"darkarts/internal/evasion"
+	"darkarts/internal/isa"
+)
+
+// TestSHA256KernelRandomizedProperty cross-validates the ISA SHA-256
+// against the reference on random message lengths and contents.
+func TestSHA256KernelRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		n := rng.Intn(400)
+		msg := make([]byte, n)
+		rng.Read(msg)
+
+		packed := cryptoalg.PackSHA256Blocks(msg)
+		nblk := len(packed) / 64
+		prog, lay := cryptoalg.BuildSHA256Program(nblk)
+		c, ctx := kernelMachine(t, prog)
+		c.Memory().WriteBytes(testBase+uint64(lay.Msg), packed)
+		c.Memory().Write(testBase+uint64(lay.NBlk), uint64(nblk), 8)
+		runToHalt(t, c, ctx)
+
+		got := cryptoalg.UnpackSHA256Digest(c.Memory().ReadBytes(testBase+uint64(lay.State), 32))
+		if want := cryptoalg.SHA256(msg); got != want {
+			t.Fatalf("trial %d (len %d): %x != %x", trial, n, got, want)
+		}
+	}
+}
+
+// TestKeccakKernelSHA3Pad checks the FIPS 202 (0x06) domain pad through the
+// ISA absorb path.
+func TestKeccakKernelSHA3Pad(t *testing.T) {
+	for _, msg := range [][]byte{nil, []byte("abc"), bytes.Repeat([]byte{0xEE}, 200)} {
+		padded := cryptoalg.PadKeccak(msg, 0x06)
+		nblk := len(padded) / 136
+		prog, lay := cryptoalg.BuildKeccakHashProgram(nblk)
+		c, ctx := kernelMachine(t, prog)
+		c.Memory().WriteBytes(testBase+uint64(lay.Msg), padded)
+		c.Memory().Write(testBase+uint64(lay.NBlk), uint64(nblk), 8)
+		runToHalt(t, c, ctx)
+
+		got := c.Memory().ReadBytes(testBase+uint64(lay.State), 32)
+		want := cryptoalg.SHA3_256(msg)
+		if !bytes.Equal(got, want[:]) {
+			t.Errorf("len %d: ISA sha3 %x != reference %x", len(msg), got, want)
+		}
+	}
+}
+
+// TestBlake2bKernelSurvivesObfuscation runs the rotate-free BLAKE2b and
+// demands bit-exact digests with zero rotate instructions retired.
+func TestBlake2bKernelSurvivesObfuscation(t *testing.T) {
+	msg := bytes.Repeat([]byte{0x3A}, 200)
+	records := cryptoalg.PackBlake2bRecords(msg)
+	nrec := len(records) / 144
+	prog, lay := cryptoalg.BuildBlake2bProgram(64, nrec)
+	obf, err := evasion.ObfuscateRotates(prog, isa.R2, isa.R3) // dead in blake2b kernel
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ctx := kernelMachine(t, obf)
+	c.Memory().WriteBytes(testBase+uint64(lay.Records), records)
+	c.Memory().Write(testBase+uint64(lay.NRec), uint64(nrec), 8)
+	runToHalt(t, c, ctx)
+
+	got := c.Memory().ReadBytes(testBase+uint64(lay.H), 64)
+	want := cryptoalg.Blake2b512(msg)
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("obfuscated blake2b diverges")
+	}
+	bank := c.Core(0).Counters()
+	if rot := bank.ClassCount(isa.ClassRotate); rot != 0 {
+		t.Errorf("%d rotates survived", rot)
+	}
+	// The obfuscated kernel's RSX total must not shrink (eq. 6a/6b add
+	// two shifts per removed rotate).
+	if bank.RSX() == 0 {
+		t.Error("no RSX retired")
+	}
+}
+
+// TestKernelsAreReentrant ensures a program image can be re-instantiated
+// (fresh context) and produce identical results — the property the looping
+// characterization workloads rely on.
+func TestKernelsAreReentrant(t *testing.T) {
+	msg := []byte("reentrancy check")
+	packed := cryptoalg.PackSHA256Blocks(msg)
+	nblk := len(packed) / 64
+	prog, lay := cryptoalg.BuildSHA256Program(nblk)
+
+	digest := func() [32]byte {
+		c, ctx := kernelMachine(t, prog)
+		c.Memory().WriteBytes(testBase+uint64(lay.Msg), packed)
+		c.Memory().Write(testBase+uint64(lay.NBlk), uint64(nblk), 8)
+		runToHalt(t, c, ctx)
+		return cryptoalg.UnpackSHA256Digest(c.Memory().ReadBytes(testBase+uint64(lay.State), 32))
+	}
+	if digest() != digest() {
+		t.Error("kernel program not reentrant")
+	}
+}
+
+// TestKernelInstructionCountsStable pins the instruction cost of the
+// kernels within loose bands so accidental code-bloat regressions in the
+// generators are caught.
+func TestKernelInstructionCountsStable(t *testing.T) {
+	// Keccak-f: one permutation of 24 rounds.
+	progK, _ := cryptoalg.BuildKeccakFProgram()
+	cK, ctxK := kernelMachine(t, progK)
+	runToHalt(t, cK, ctxK)
+	perm := cK.Core(0).Counters().Retired()
+	if perm < 5_000 || perm > 15_000 {
+		t.Errorf("keccakf permutation = %d instructions, expected 5k-15k", perm)
+	}
+
+	// AES: one 16-byte block through 10 rounds.
+	progA, layA := cryptoalg.BuildAESProgram(bytes.Repeat([]byte{1}, 16), 1)
+	cA, ctxA := kernelMachine(t, progA)
+	cA.Memory().Write(testBase+uint64(layA.NBlk), 1, 8)
+	runToHalt(t, cA, ctxA)
+	aes := cA.Core(0).Counters().Retired()
+	if aes < 400 || aes > 3_000 {
+		t.Errorf("aes block = %d instructions, expected 400-3000", aes)
+	}
+}

@@ -1,0 +1,204 @@
+package cryptoalg
+
+import "darkarts/internal/isa"
+
+// SHA256Layout gives the data-region offsets of a SHA-256 program.
+type SHA256Layout struct {
+	State  int64 // 8 x 4B working state (output digest words, host order)
+	Msg    int64 // message blocks: NBlocks x 16 x 4B words (host order)
+	NBlk   int64 // 8B cell: number of 64-byte blocks
+	MaxBlk int   // capacity of the message area in blocks
+}
+
+// EmitSHA256Compress emits the "sha256_blocks" subroutine: compresses the
+// block sequence addressed by R20 (R21 = block count) into the state
+// addressed by R17, using the K table addressed by R18 and a 64-word
+// schedule scratch area addressed by R19.
+//
+// The emitted code is the paper's Section II-C SHA-2 structure: the Sigma
+// functions are 32-bit rotates (ROR32I) and XORs, the sigma functions mix
+// rotates with logical right shifts (eq. 5c-5f), Ch and Maj are and/xor
+// logic (eq. 5a-5b).
+func EmitSHA256Compress(b *isa.Builder) {
+	const (
+		regState = isa.R17
+		regK     = isa.R18
+		regW     = isa.R19
+		regMsg   = isa.R20
+		regN     = isa.R21
+		t1       = isa.R1
+		t2       = isa.R2
+		t3       = isa.R3
+		t4       = isa.R4
+		kPtr     = isa.R5
+		wPtr     = isa.R6
+		ctr      = isa.R7
+	)
+	// Working variables a..h live in R8..R15.
+	a, bb, cc, dd, e, f, g, h := isa.R8, isa.R9, isa.R10, isa.R11, isa.R12, isa.R13, isa.R14, isa.R15
+
+	b.Label("sha256_blocks")
+	b.Label("sha256_block_loop")
+	b.Cmpi(regN, 0)
+	b.Jcc(isa.JE, "sha256_done")
+
+	// Copy the 16 message words into W[0..15].
+	for i := 0; i < 16; i++ {
+		b.Ld32(t1, regMsg, int64(4*i))
+		b.St32(regW, int64(4*i), t1)
+	}
+	// Extend W[16..63]:
+	//   s0 = R7(w15) ^ R18(w15) ^ S3(w15)      (eq. 5e)
+	//   s1 = R17(w2) ^ R19(w2) ^ S10(w2)       (eq. 5f)
+	//   w  = w16 + s0 + w7 + s1
+	b.Movi(ctr, 16)
+	b.OpI(isa.LEA, wPtr, regW, 64) // &W[16]
+	b.Label("sha256_extend")
+	b.Ld32(t1, wPtr, -15*4) // w15 (clean)
+	b.OpI(isa.ROR32I, t2, t1, 7)
+	b.OpI(isa.ROR32I, t3, t1, 18)
+	b.Op3(isa.XOR, t2, t2, t3)
+	b.OpI(isa.SHRI, t3, t1, 3)
+	b.Op3(isa.XOR, t2, t2, t3) // s0
+	b.Ld32(t1, wPtr, -2*4)     // w2 (clean)
+	b.OpI(isa.ROR32I, t3, t1, 17)
+	b.OpI(isa.ROR32I, t4, t1, 19)
+	b.Op3(isa.XOR, t3, t3, t4)
+	b.OpI(isa.SHRI, t4, t1, 10)
+	b.Op3(isa.XOR, t3, t3, t4) // s1
+	b.Ld32(t1, wPtr, -16*4)    // w16
+	b.Op3(isa.ADD, t1, t1, t2)
+	b.Ld32(t2, wPtr, -7*4) // w7
+	b.Op3(isa.ADD, t1, t1, t2)
+	b.Op3(isa.ADD, t1, t1, t3)
+	b.St32(wPtr, 0, t1) // truncating store keeps W clean
+	b.OpI(isa.ADDI, wPtr, wPtr, 4)
+	b.OpI(isa.ADDI, ctr, ctr, 1)
+	b.Cmpi(ctr, 64)
+	b.Jcc(isa.JNE, "sha256_extend")
+
+	// Load working variables.
+	for i, r := range []isa.Reg{a, bb, cc, dd, e, f, g, h} {
+		b.Ld32(r, regState, int64(4*i))
+	}
+
+	// 64 rounds.
+	b.Mov(kPtr, regK)
+	b.Mov(wPtr, regW)
+	b.Movi(ctr, 64)
+	b.Label("sha256_round")
+	// Sigma1(e) = R6 ^ R11 ^ R25                            (eq. 5d)
+	b.OpI(isa.ROR32I, t1, e, 6)
+	b.OpI(isa.ROR32I, t2, e, 11)
+	b.Op3(isa.XOR, t1, t1, t2)
+	b.OpI(isa.ROR32I, t2, e, 25)
+	b.Op3(isa.XOR, t1, t1, t2)
+	// Ch(e,f,g) = g ^ (e & (f ^ g))                         (eq. 5a)
+	b.Op3(isa.XOR, t2, f, g)
+	b.Op3(isa.AND, t2, t2, e)
+	b.Op3(isa.XOR, t2, t2, g)
+	// T1 = h + Sigma1 + Ch + K[i] + W[i]
+	b.Op3(isa.ADD, t1, t1, t2)
+	b.Op3(isa.ADD, t1, t1, h)
+	b.Ld32(t2, kPtr, 0)
+	b.Op3(isa.ADD, t1, t1, t2)
+	b.Ld32(t2, wPtr, 0)
+	b.Op3(isa.ADD, t1, t1, t2) // t1 = T1 (dirty high bits are fine)
+	// Sigma0(a) = R2 ^ R13 ^ R22                            (eq. 5c)
+	b.OpI(isa.ROR32I, t2, a, 2)
+	b.OpI(isa.ROR32I, t3, a, 13)
+	b.Op3(isa.XOR, t2, t2, t3)
+	b.OpI(isa.ROR32I, t3, a, 22)
+	b.Op3(isa.XOR, t2, t2, t3)
+	// Maj(a,b,c) = (a&b) ^ (a&c) ^ (b&c)                    (eq. 5b)
+	b.Op3(isa.AND, t3, a, bb)
+	b.Op3(isa.AND, t4, a, cc)
+	b.Op3(isa.XOR, t3, t3, t4)
+	b.Op3(isa.AND, t4, bb, cc)
+	b.Op3(isa.XOR, t3, t3, t4)
+	b.Op3(isa.ADD, t2, t2, t3) // t2 = T2
+	// Rotate the working variables.
+	b.Mov(h, g)
+	b.Mov(g, f)
+	b.Mov(f, e)
+	b.Op3(isa.ADD, e, dd, t1)
+	b.Mov(dd, cc)
+	b.Mov(cc, bb)
+	b.Mov(bb, a)
+	b.Op3(isa.ADD, a, t1, t2)
+
+	b.OpI(isa.ADDI, kPtr, kPtr, 4)
+	b.OpI(isa.ADDI, wPtr, wPtr, 4)
+	b.OpI(isa.SUBI, ctr, ctr, 1)
+	b.Cmpi(ctr, 0)
+	b.Jcc(isa.JNE, "sha256_round")
+
+	// Fold into the state (ST32 truncates, so dirt never escapes).
+	for i, r := range []isa.Reg{a, bb, cc, dd, e, f, g, h} {
+		b.Ld32(t1, regState, int64(4*i))
+		b.Op3(isa.ADD, t1, t1, r)
+		b.St32(regState, int64(4*i), t1)
+	}
+
+	b.OpI(isa.ADDI, regMsg, regMsg, 64)
+	b.OpI(isa.SUBI, regN, regN, 1)
+	b.Jmp("sha256_block_loop")
+
+	b.Label("sha256_done")
+	b.Ret()
+}
+
+// BuildSHA256Program returns a program hashing up to maxBlocks pre-padded
+// 64-byte blocks. The harness writes each block as 16 little-endian uint32
+// words (big-endian framing already applied by PackSHA256Blocks) and the
+// block count at layout.NBlk; the digest words appear at layout.State.
+func BuildSHA256Program(maxBlocks int) (*isa.Program, SHA256Layout) {
+	var d dataAlloc
+	lay := SHA256Layout{MaxBlk: maxBlocks}
+	lay.State = d.putU32s(sha256Init[:])
+	kOff := d.putU32s(sha256K[:])
+	wOff := d.reserve(64*4, 8)
+	lay.NBlk = d.reserve(8, 8)
+	lay.Msg = d.reserve(maxBlocks*64, 8)
+
+	b := isa.NewBuilder("sha256")
+	b.OpI(isa.LEA, isa.R17, isa.R28, lay.State)
+	b.OpI(isa.LEA, isa.R18, isa.R28, kOff)
+	b.OpI(isa.LEA, isa.R19, isa.R28, wOff)
+	b.OpI(isa.LEA, isa.R20, isa.R28, lay.Msg)
+	b.Ld(isa.R21, isa.R28, lay.NBlk)
+	b.Call("sha256_blocks")
+	b.Halt()
+	EmitSHA256Compress(b)
+
+	p := b.MustBuild()
+	p.Data = d.buf
+	p.DataSize = int64(len(d.buf))
+	return p, lay
+}
+
+// PackSHA256Blocks applies FIPS padding to msg and converts each big-endian
+// message word to the host order the kernel reads with LD32. The result is
+// written verbatim into the program's Msg area.
+func PackSHA256Blocks(msg []byte) []byte {
+	padded := sha256Pad(msg)
+	out := make([]byte, len(padded))
+	for i := 0; i+4 <= len(padded); i += 4 {
+		// big-endian word -> little-endian storage
+		out[i], out[i+1], out[i+2], out[i+3] = padded[i+3], padded[i+2], padded[i+1], padded[i]
+	}
+	return out
+}
+
+// UnpackSHA256Digest converts the 8 state words read from layout.State
+// (little-endian storage) into the canonical big-endian digest.
+func UnpackSHA256Digest(raw []byte) [32]byte {
+	var out [32]byte
+	for i := 0; i < 8; i++ {
+		out[i*4+0] = raw[i*4+3]
+		out[i*4+1] = raw[i*4+2]
+		out[i*4+2] = raw[i*4+1]
+		out[i*4+3] = raw[i*4+0]
+	}
+	return out
+}

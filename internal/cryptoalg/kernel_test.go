@@ -1,0 +1,167 @@
+package cryptoalg_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/cryptoalg"
+	"darkarts/internal/isa"
+)
+
+const testBase = 0x10_0000
+
+// kernelMachine loads prog on a fresh single-core fast-mode CPU and returns
+// the machine and context ready to run.
+func kernelMachine(t *testing.T, prog *isa.Program) (*cpu.CPU, *cpu.ArchContext) {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Characterize = true
+	c, err := cpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := cpu.NewContext(prog, c.Memory(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Core(0).LoadContext(ctx)
+	return c, ctx
+}
+
+// runToHalt runs the context to completion and fails the test on fault.
+func runToHalt(t *testing.T, c *cpu.CPU, ctx *cpu.ArchContext) {
+	t.Helper()
+	for !ctx.Halted {
+		if c.Core(0).Run(50_000_000) == 0 && !ctx.Halted {
+			t.Fatal("no progress")
+		}
+	}
+	if ctx.Fault != nil {
+		t.Fatalf("kernel faulted: %v", ctx.Fault)
+	}
+}
+
+func TestKeccakFKernelMatchesReference(t *testing.T) {
+	prog, lay := cryptoalg.BuildKeccakFProgram()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		var state [25]uint64
+		for i := range state {
+			state[i] = rng.Uint64()
+		}
+		want := state
+		cryptoalg.KeccakF1600(&want)
+
+		c, ctx := kernelMachine(t, prog)
+		for i, v := range state {
+			c.Memory().Write(testBase+uint64(lay.State)+uint64(8*i), v, 8)
+		}
+		runToHalt(t, c, ctx)
+
+		var got [25]uint64
+		for i := range got {
+			got[i] = c.Memory().Read(testBase+uint64(lay.State)+uint64(8*i), 8)
+		}
+		if got != want {
+			t.Fatalf("trial %d: ISA keccakf diverges from reference\ngot:  %x\nwant: %x", trial, got, want)
+		}
+	}
+}
+
+func TestKeccakHashKernelMatchesKeccak256(t *testing.T) {
+	msgs := [][]byte{
+		nil,
+		[]byte("abc"),
+		bytes.Repeat([]byte{0x5A}, 135), // one byte short of a block
+		bytes.Repeat([]byte{0x5A}, 136), // exactly one rate block
+		bytes.Repeat([]byte{0x77}, 300), // multi-block
+	}
+	for _, msg := range msgs {
+		padded := cryptoalg.PadKeccak(msg, 0x01)
+		nblk := len(padded) / 136
+		prog, lay := cryptoalg.BuildKeccakHashProgram(nblk)
+		c, ctx := kernelMachine(t, prog)
+		c.Memory().WriteBytes(testBase+uint64(lay.Msg), padded)
+		c.Memory().Write(testBase+uint64(lay.NBlk), uint64(nblk), 8)
+		runToHalt(t, c, ctx)
+
+		got := c.Memory().ReadBytes(testBase+uint64(lay.State), 32)
+		want := cryptoalg.Keccak256(msg)
+		if !bytes.Equal(got, want[:]) {
+			t.Errorf("len %d: ISA digest %x != reference %x", len(msg), got, want)
+		}
+	}
+}
+
+func TestKeccakKernelInstructionProfile(t *testing.T) {
+	// The executed profile must be XOR-dominated with a healthy rotate
+	// count — the signature the paper's detector keys on (Section II-D).
+	prog, lay := cryptoalg.BuildKeccakFProgram()
+	c, ctx := kernelMachine(t, prog)
+	c.Memory().Write(testBase+uint64(lay.State), 1, 8)
+	runToHalt(t, c, ctx)
+
+	bank := c.Core(0).Counters()
+	xor := bank.ClassCount(isa.ClassXor)
+	rot := bank.ClassCount(isa.ClassRotate)
+	total := bank.Retired()
+	if xor == 0 || rot == 0 {
+		t.Fatalf("xor=%d rot=%d", xor, rot)
+	}
+	if frac := float64(xor) / float64(total); frac < 0.15 {
+		t.Errorf("XOR fraction %.2f too low for keccak", frac)
+	}
+	if frac := float64(rot) / float64(total); frac < 0.02 {
+		t.Errorf("rotate fraction %.3f too low for keccak", frac)
+	}
+	if bank.RSX() == 0 {
+		t.Error("RSX counter did not advance during keccak")
+	}
+}
+
+func TestKeccakStaticHistogramFigure1Shape(t *testing.T) {
+	// Figure 1: the compiled keccakf() is MOV-heavy with XOR as the
+	// dominant ALU op, plus AND and rotates present. Our "compiled"
+	// subroutine must show the same shape: XOR > AND > ROT among ALU ops,
+	// and loads+stores (the MOV class in x86 terms) the largest group.
+	prog, _ := cryptoalg.BuildKeccakFProgram()
+	h := prog.StaticHistogram()
+	xor := h[isa.XOR] + h[isa.XORI]
+	and := h[isa.AND] + h[isa.ANDI]
+	rot := h[isa.ROL] + h[isa.ROLI] + h[isa.ROR] + h[isa.RORI]
+	movLike := h[isa.LD] + h[isa.ST] + h[isa.MOV] + h[isa.MOVI] + h[isa.LEA] + h[isa.PUSH] + h[isa.POP]
+	if !(xor > and && xor > rot && and > 0 && rot > 0) {
+		t.Errorf("ALU shape off: xor=%d and=%d rot=%d", xor, and, rot)
+	}
+	if movLike <= xor {
+		t.Errorf("mov-like %d not dominant over xor %d", movLike, xor)
+	}
+}
+
+func init() {
+	// Guard: the padded-message helper must produce whole blocks.
+	if len(cryptoalg.PadKeccak([]byte("x"), 0x01))%136 != 0 {
+		panic("PadKeccak alignment broken")
+	}
+}
+
+func TestPadKeccakBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 135, 136, 137, 272} {
+		p := cryptoalg.PadKeccak(make([]byte, n), 0x06)
+		if len(p)%136 != 0 {
+			t.Errorf("len %d: padded to %d", n, len(p))
+		}
+		if p[n] != 0x06 && p[n] != 0x06|0x80 {
+			t.Errorf("len %d: pad byte = %#x", n, p[n])
+		}
+		if p[len(p)-1]&0x80 == 0 {
+			t.Errorf("len %d: final bit missing", n)
+		}
+	}
+}
+
+var _ = binary.LittleEndian // keep import for later kernel tests

@@ -1,0 +1,92 @@
+// Package cryptoalg implements, from scratch, the cryptographic primitives
+// that anonymous cryptocurrencies rely on — SHA-256 (SHA-2), Keccak/SHA-3,
+// AES-128, and BLAKE2b — in two forms:
+//
+//  1. Native Go reference implementations (this file and siblings), tested
+//     against published vectors, used as oracles and by fast workload code.
+//  2. ISA code generators (kernel_*.go) that emit the same algorithms as
+//     programs for the simulated processor in internal/cpu. Running those
+//     programs is what gives the paper's RSX instruction signatures; the
+//     kernels are verified bit-exact against the references.
+package cryptoalg
+
+import "encoding/binary"
+
+// SHA-256 round constants (FIPS 180-4 §4.2.2).
+var sha256K = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+// sha256Init is the initial hash state (FIPS 180-4 §5.3.3).
+var sha256Init = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+func rotr32(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+
+// sha256Block runs the compression function over one 64-byte block.
+func sha256Block(state *[8]uint32, block []byte) {
+	var w [64]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(block[i*4:])
+	}
+	for i := 16; i < 64; i++ {
+		s0 := rotr32(w[i-15], 7) ^ rotr32(w[i-15], 18) ^ (w[i-15] >> 3)
+		s1 := rotr32(w[i-2], 17) ^ rotr32(w[i-2], 19) ^ (w[i-2] >> 10)
+		w[i] = w[i-16] + s0 + w[i-7] + s1
+	}
+	a, b, c, d, e, f, g, h := state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7]
+	for i := 0; i < 64; i++ {
+		S1 := rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + S1 + ch + sha256K[i] + w[i]
+		S0 := rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := S0 + maj
+		h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+	state[0] += a
+	state[1] += b
+	state[2] += c
+	state[3] += d
+	state[4] += e
+	state[5] += f
+	state[6] += g
+	state[7] += h
+}
+
+// SHA256 returns the SHA-256 digest of msg.
+func SHA256(msg []byte) [32]byte {
+	state := sha256Init
+	padded := sha256Pad(msg)
+	for off := 0; off < len(padded); off += 64 {
+		sha256Block(&state, padded[off:off+64])
+	}
+	var out [32]byte
+	for i, v := range state {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// sha256Pad returns msg with FIPS 180-4 padding appended (multiple of 64B).
+func sha256Pad(msg []byte) []byte {
+	l := len(msg)
+	padLen := 64 - (l+9)%64
+	if padLen == 64 {
+		padLen = 0
+	}
+	out := make([]byte, l+9+padLen)
+	copy(out, msg)
+	out[l] = 0x80
+	binary.BigEndian.PutUint64(out[len(out)-8:], uint64(l)*8)
+	return out
+}

@@ -1,0 +1,261 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates two labelled Gaussian clusters in d dimensions, centers
+// separated along every axis by sep.
+func blobs(n, d int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a[j] = rng.NormFloat64()
+			b[j] = sep + rng.NormFloat64()
+		}
+		x = append(x, a, b)
+		y = append(y, -1, 1)
+	}
+	return x, y
+}
+
+func TestThresholdDetector(t *testing.T) {
+	d := DefaultThreshold()
+	if d.Malicious(2.4e9) {
+		t.Error("2.4B/min flagged")
+	}
+	if !d.Malicious(5.7e9) {
+		t.Error("Monero rate not flagged")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	benign := []float64{0.1e9, 0.5e9, 2.4e9}
+	malicious := []float64{5.7e9, 50e9, 3.99e9}
+	pts := Sweep([]float64{1e9, 2.5e9, 10e9}, benign, malicious)
+	if pts[1].DetectionRate != 1 || pts[1].FPR != 0 {
+		t.Errorf("2.5B point: %+v", pts[1])
+	}
+	if pts[0].FPR == 0 {
+		t.Error("1B threshold should have false positives")
+	}
+	if pts[2].DetectionRate == 1 {
+		t.Error("10B threshold should miss miners")
+	}
+}
+
+func TestPCARecoverseDominantDirection(t *testing.T) {
+	// Data varies strongly along feature 0, weakly along feature 1.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	for i := 0; i < 200; i++ {
+		x = append(x, []float64{10 * rng.NormFloat64(), rng.NormFloat64(), 0.01 * rng.NormFloat64()})
+	}
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 2 {
+		t.Fatalf("K = %d", p.K())
+	}
+	vars := p.ExplainedVariances()
+	if vars[0] < vars[1] {
+		t.Error("variances not descending")
+	}
+	// First component should align with axis 0.
+	c0 := p.components[0]
+	if math.Abs(c0[0]) < 0.99 {
+		t.Errorf("first component = %v, want axis 0", c0)
+	}
+	// Components are unit length and orthogonal.
+	if n := dot(c0, c0); math.Abs(n-1) > 1e-9 {
+		t.Errorf("component norm = %v", n)
+	}
+	if o := math.Abs(dot(c0, p.components[1])); o > 1e-6 {
+		t.Errorf("components not orthogonal: %v", o)
+	}
+}
+
+func TestPCADualMatchesVarianceBudget(t *testing.T) {
+	// With fewer samples than features (the paper's 272 < 527), the dual
+	// path must still produce valid projections.
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	for i := 0; i < 40; i++ {
+		row := make([]float64, 100)
+		for j := range row {
+			row[j] = rng.NormFloat64() * float64(1+j%3)
+		}
+		x = append(x, row)
+	}
+	p, err := FitPCA(x, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.TransformAll(x)
+	if len(proj[0]) != p.K() {
+		t.Errorf("projection dim %d != K %d", len(proj[0]), p.K())
+	}
+	// Projected variance along component 0 must equal the eigenvalue.
+	var mean, varr float64
+	for _, r := range proj {
+		mean += r[0]
+	}
+	mean /= float64(len(proj))
+	for _, r := range proj {
+		varr += (r[0] - mean) * (r[0] - mean)
+	}
+	varr /= float64(len(proj) - 1)
+	if ev := p.ExplainedVariances()[0]; math.Abs(varr-ev)/ev > 0.05 {
+		t.Errorf("projected variance %v != eigenvalue %v", varr, ev)
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {3, 4}}, 5); err == nil {
+		t.Error("k > d accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 1}, {1, 1}, {1, 1}}, 1); err == nil {
+		t.Error("zero-variance input accepted")
+	}
+}
+
+func TestModelsSeparateBlobs(t *testing.T) {
+	xtrain, ytrain := blobs(60, 6, 4, 7)
+	xtest, ytest := blobs(30, 6, 4, 8)
+	models := []Model{
+		&SVM{},
+		&LogisticRegression{},
+		&DecisionTree{},
+		&KNN{},
+	}
+	for _, m := range models {
+		if err := m.Fit(xtrain, ytrain); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		c := Evaluate(m, xtest, ytest)
+		if c.Accuracy() < 0.95 {
+			t.Errorf("%s accuracy %.3f on separable blobs (%s)", m.Name(), c.Accuracy(), c)
+		}
+	}
+}
+
+func TestModelsRejectBadData(t *testing.T) {
+	models := []Model{&SVM{}, &LogisticRegression{}, &DecisionTree{}, &KNN{}}
+	for _, m := range models {
+		if err := m.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty data", m.Name())
+		}
+		if err := m.Fit([][]float64{{1}}, []int{0}); err == nil {
+			t.Errorf("%s accepted label 0", m.Name())
+		}
+		if err := m.Fit([][]float64{{1}, {2, 3}}, []int{1, -1}); err == nil {
+			t.Errorf("%s accepted ragged rows", m.Name())
+		}
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	// High-dimensional blobs, fewer informative dims: the pipeline must
+	// scale, project, and classify well.
+	x, y := blobs(80, 60, 3, 9)
+	xtr, ytr, xte, yte, err := TrainTestSplit(x, y, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Components: 11, Model: &SVM{}}
+	if err := p.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	c := EvaluatePipeline(p, xte, yte)
+	if c.Accuracy() < 0.9 {
+		t.Errorf("pipeline accuracy %.3f (%s)", c.Accuracy(), c)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	p := &Pipeline{}
+	if err := p.Fit([][]float64{{1}}, []int{1}); err == nil {
+		t.Error("nil model accepted")
+	}
+	p = &Pipeline{Model: &SVM{}}
+	if err := p.Fit(nil, nil); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	x, y := blobs(50, 3, 2, 10)
+	xtr, ytr, xte, yte, err := TrainTestSplit(x, y, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xtr)+len(xte) != len(x) || len(ytr) != len(xtr) || len(yte) != len(xte) {
+		t.Error("split sizes inconsistent")
+	}
+	if len(xte) != len(x)/4 {
+		t.Errorf("test size = %d", len(xte))
+	}
+	if _, _, _, _, err := TrainTestSplit(x, y, 1.5, 0); err == nil {
+		t.Error("bad fraction accepted")
+	}
+}
+
+func TestScalerProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var x [][]float64
+		for i := 0; i < 50; i++ {
+			x = append(x, []float64{rng.NormFloat64()*3 + 5, rng.Float64() * 100})
+		}
+		s := FitScaler(x)
+		scaled := s.TransformAll(x)
+		for j := 0; j < 2; j++ {
+			var mean float64
+			for _, r := range scaled {
+				mean += r[j]
+			}
+			mean /= float64(len(scaled))
+			if math.Abs(mean) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 1, TN: 9, FN: 2}
+	if got := c.Accuracy(); math.Abs(got-0.85) > 1e-9 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := c.DetectionRate(); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("tpr = %v", got)
+	}
+	if got := c.FPR(); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("fpr = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-8.0/9.0) > 1e-9 {
+		t.Errorf("precision = %v", got)
+	}
+	var zero Confusion
+	if zero.Accuracy() != 0 || zero.DetectionRate() != 0 || zero.FPR() != 0 || zero.Precision() != 0 {
+		t.Error("zero confusion not handled")
+	}
+}

@@ -1,0 +1,203 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of CART trees with feature subsampling.
+type RandomForest struct {
+	Trees    int // default 25
+	MaxDepth int // per-tree depth (default 6)
+	Seed     int64
+
+	forest []*DecisionTree
+	masks  [][]int // feature subset per tree
+}
+
+// Name implements Model.
+func (r *RandomForest) Name() string { return "RandomForest" }
+
+// Fit implements Model.
+func (r *RandomForest) Fit(x [][]float64, y []int) error {
+	if err := checkDataset(x, y); err != nil {
+		return err
+	}
+	if r.Trees <= 0 {
+		r.Trees = 25
+	}
+	if r.MaxDepth <= 0 {
+		r.MaxDepth = 6
+	}
+	rng := rand.New(rand.NewSource(r.Seed + 99))
+	d := len(x[0])
+	nFeat := int(math.Sqrt(float64(d)))
+	if nFeat < 1 {
+		nFeat = 1
+	}
+	r.forest = r.forest[:0]
+	r.masks = r.masks[:0]
+	for t := 0; t < r.Trees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, len(x))
+		by := make([]int, len(y))
+		for i := range bx {
+			j := rng.Intn(len(x))
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		// Feature subset: project the bootstrap sample.
+		mask := rng.Perm(d)[:nFeat]
+		px := make([][]float64, len(bx))
+		for i, row := range bx {
+			pr := make([]float64, nFeat)
+			for k, f := range mask {
+				pr[k] = row[f]
+			}
+			px[i] = pr
+		}
+		tree := &DecisionTree{MaxDepth: r.MaxDepth}
+		if err := tree.Fit(px, by); err != nil {
+			return fmt.Errorf("random forest tree %d: %w", t, err)
+		}
+		r.forest = append(r.forest, tree)
+		r.masks = append(r.masks, mask)
+	}
+	return nil
+}
+
+// Predict implements Model (majority vote).
+func (r *RandomForest) Predict(row []float64) int {
+	vote := 0
+	for t, tree := range r.forest {
+		pr := make([]float64, len(r.masks[t]))
+		for k, f := range r.masks[t] {
+			pr[k] = row[f]
+		}
+		vote += tree.Predict(pr)
+	}
+	if vote >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// GaussianNB is a Gaussian naive Bayes classifier.
+type GaussianNB struct {
+	mean, varc [2][]float64 // [class][feature]; class 0 = -1, 1 = +1
+	prior      [2]float64
+}
+
+// Name implements Model.
+func (g *GaussianNB) Name() string { return "NaiveBayes" }
+
+// Fit implements Model.
+func (g *GaussianNB) Fit(x [][]float64, y []int) error {
+	if err := checkDataset(x, y); err != nil {
+		return err
+	}
+	d := len(x[0])
+	var count [2]float64
+	for c := 0; c < 2; c++ {
+		g.mean[c] = make([]float64, d)
+		g.varc[c] = make([]float64, d)
+	}
+	cls := func(label int) int {
+		if label == 1 {
+			return 1
+		}
+		return 0
+	}
+	for i, row := range x {
+		c := cls(y[i])
+		count[c]++
+		for j, v := range row {
+			g.mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if count[c] == 0 {
+			return fmt.Errorf("naive bayes: class %d has no samples", c)
+		}
+		for j := range g.mean[c] {
+			g.mean[c][j] /= count[c]
+		}
+	}
+	for i, row := range x {
+		c := cls(y[i])
+		for j, v := range row {
+			dv := v - g.mean[c][j]
+			g.varc[c][j] += dv * dv
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range g.varc[c] {
+			g.varc[c][j] = g.varc[c][j]/count[c] + 1e-9 // smoothed
+		}
+		g.prior[c] = count[c] / float64(len(x))
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (g *GaussianNB) Predict(row []float64) int {
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		logp[c] = math.Log(g.prior[c])
+		for j, v := range row {
+			dv := v - g.mean[c][j]
+			logp[c] += -0.5*math.Log(2*math.Pi*g.varc[c][j]) - dv*dv/(2*g.varc[c][j])
+		}
+	}
+	if logp[1] >= logp[0] {
+		return 1
+	}
+	return -1
+}
+
+// CrossValidate runs k-fold cross-validation of a model factory over the
+// dataset and returns the per-fold confusion matrices.
+func CrossValidate(factory func() Model, x [][]float64, y []int, folds int, seed int64) ([]Confusion, error) {
+	if err := checkDataset(x, y); err != nil {
+		return nil, err
+	}
+	if folds < 2 || folds > len(x) {
+		return nil, fmt.Errorf("detect: %d folds for %d samples", folds, len(x))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(x))
+
+	out := make([]Confusion, 0, folds)
+	for f := 0; f < folds; f++ {
+		var xtr, xte [][]float64
+		var ytr, yte []int
+		for i, idx := range perm {
+			if i%folds == f {
+				xte = append(xte, x[idx])
+				yte = append(yte, y[idx])
+			} else {
+				xtr = append(xtr, x[idx])
+				ytr = append(ytr, y[idx])
+			}
+		}
+		m := factory()
+		if err := m.Fit(xtr, ytr); err != nil {
+			return nil, fmt.Errorf("fold %d: %w", f, err)
+		}
+		out = append(out, Evaluate(m, xte, yte))
+	}
+	return out, nil
+}
+
+// MeanAccuracy averages fold accuracies.
+func MeanAccuracy(folds []Confusion) float64 {
+	if len(folds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range folds {
+		sum += c.Accuracy()
+	}
+	return sum / float64(len(folds))
+}

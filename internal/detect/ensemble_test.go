@@ -1,0 +1,89 @@
+package detect
+
+import (
+	"testing"
+)
+
+func TestRandomForestSeparatesBlobs(t *testing.T) {
+	xtr, ytr := blobs(60, 8, 4, 21)
+	xte, yte := blobs(30, 8, 4, 22)
+	rf := &RandomForest{Trees: 15}
+	if err := rf.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	c := Evaluate(rf, xte, yte)
+	if c.Accuracy() < 0.93 {
+		t.Errorf("random forest accuracy %.3f (%s)", c.Accuracy(), c)
+	}
+}
+
+func TestGaussianNBSeparatesBlobs(t *testing.T) {
+	xtr, ytr := blobs(60, 8, 4, 23)
+	xte, yte := blobs(30, 8, 4, 24)
+	nb := &GaussianNB{}
+	if err := nb.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	c := Evaluate(nb, xte, yte)
+	if c.Accuracy() < 0.95 {
+		t.Errorf("naive bayes accuracy %.3f (%s)", c.Accuracy(), c)
+	}
+}
+
+func TestEnsembleModelsRejectBadData(t *testing.T) {
+	for _, m := range []Model{&RandomForest{}, &GaussianNB{}} {
+		if err := m.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty data", m.Name())
+		}
+	}
+	// NB with a single class must fail.
+	nb := &GaussianNB{}
+	if err := nb.Fit([][]float64{{1}, {2}}, []int{1, 1}); err == nil {
+		t.Error("single-class NB accepted")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	x, y := blobs(50, 5, 4, 25)
+	folds, err := CrossValidate(func() Model { return &SVM{} }, x, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	if acc := MeanAccuracy(folds); acc < 0.95 {
+		t.Errorf("CV accuracy %.3f", acc)
+	}
+	// Every sample appears in exactly one test fold.
+	var total int
+	for _, c := range folds {
+		total += c.TP + c.FP + c.TN + c.FN
+	}
+	if total != len(x) {
+		t.Errorf("CV covered %d of %d samples", total, len(x))
+	}
+	if _, err := CrossValidate(func() Model { return &SVM{} }, x, y, 1, 1); err == nil {
+		t.Error("1 fold accepted")
+	}
+}
+
+func TestRandomForestDeterministicForSeed(t *testing.T) {
+	x, y := blobs(40, 6, 3, 26)
+	run := func() Confusion {
+		rf := &RandomForest{Trees: 10, Seed: 5}
+		if err := rf.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return Evaluate(rf, x, y)
+	}
+	if run() != run() {
+		t.Error("random forest not deterministic for fixed seed")
+	}
+}
+
+func TestMeanAccuracyEmpty(t *testing.T) {
+	if MeanAccuracy(nil) != 0 {
+		t.Error("empty mean accuracy != 0")
+	}
+}

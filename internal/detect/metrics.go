@@ -1,0 +1,125 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion is a binary confusion matrix (+1 = malicious positive class).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Evaluate runs the model over labelled data and tallies the confusion
+// matrix.
+func Evaluate(m Model, x [][]float64, y []int) Confusion {
+	var c Confusion
+	for i := range x {
+		pred := m.Predict(x[i])
+		switch {
+		case pred == 1 && y[i] == 1:
+			c.TP++
+		case pred == 1 && y[i] == -1:
+			c.FP++
+		case pred == -1 && y[i] == -1:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// DetectionRate returns the true positive rate TP/(TP+FN).
+func (c Confusion) DetectionRate() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns the false positive rate FP/(FP+TN).
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Precision returns TP/(TP+FP).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d acc=%.3f tpr=%.3f fpr=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Accuracy(), c.DetectionRate(), c.FPR())
+}
+
+// Scaler standardizes features to zero mean / unit variance, fitted on
+// training data only.
+type Scaler struct {
+	mean, std []float64
+}
+
+// FitScaler learns per-feature statistics.
+func FitScaler(x [][]float64) *Scaler {
+	if len(x) == 0 {
+		return &Scaler{}
+	}
+	d := len(x[0])
+	s := &Scaler{mean: make([]float64, d), std: make([]float64, d)}
+	for _, row := range x {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(len(x))
+	}
+	for _, row := range x {
+		for j, v := range row {
+			dv := v - s.mean[j]
+			s.std[j] += dv * dv
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / float64(len(x)))
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform standardizes one row.
+func (s *Scaler) Transform(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes all rows.
+func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+

@@ -1,0 +1,200 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCA reduces feature dimensionality by projection onto the top principal
+// components, reproducing the paper's 527 -> 11 reduction. Implemented
+// from scratch: when samples < features (272 < 527 in the paper), the
+// eigenproblem is solved in the dual (Gram) space, which is exact and far
+// cheaper; eigenvectors come from a cyclic Jacobi rotation sweep.
+type PCA struct {
+	mean       []float64
+	components [][]float64 // k x d, unit length
+	variances  []float64   // eigenvalues for the kept components
+}
+
+// FitPCA learns a k-component projection from X (n samples x d features).
+func FitPCA(x [][]float64, k int) (*PCA, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 samples, got %d", n)
+	}
+	d := len(x[0])
+	if k < 1 || k > d || k > n {
+		return nil, fmt.Errorf("pca: k=%d out of range (n=%d, d=%d)", k, n, d)
+	}
+	for i := range x {
+		if len(x[i]) != d {
+			return nil, fmt.Errorf("pca: ragged input at row %d", i)
+		}
+	}
+
+	mean := make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	// Centered data.
+	c := make([][]float64, n)
+	for i := range x {
+		c[i] = make([]float64, d)
+		for j := range x[i] {
+			c[i][j] = x[i][j] - mean[j]
+		}
+	}
+
+	// Dual PCA: G = C Cᵀ (n x n), eigenvectors u -> components v = Cᵀu/|Cᵀu|.
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			for t := 0; t < d; t++ {
+				s += c[i][t] * c[j][t]
+			}
+			g[i][j] = s
+			g[j][i] = s
+		}
+	}
+
+	vals, vecs := jacobiEigen(g)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+
+	p := &PCA{mean: mean}
+	for rank := 0; rank < k; rank++ {
+		idx := order[rank]
+		lambda := vals[idx]
+		if lambda < 1e-12 {
+			break // remaining variance is numerically zero
+		}
+		comp := make([]float64, d)
+		for i := 0; i < n; i++ {
+			u := vecs[i][idx]
+			for t := 0; t < d; t++ {
+				comp[t] += u * c[i][t]
+			}
+		}
+		var norm float64
+		for _, v := range comp {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+		for t := range comp {
+			comp[t] /= norm
+		}
+		p.components = append(p.components, comp)
+		p.variances = append(p.variances, lambda/float64(n-1))
+	}
+	if len(p.components) == 0 {
+		return nil, fmt.Errorf("pca: input has no variance")
+	}
+	return p, nil
+}
+
+// K returns the number of retained components.
+func (p *PCA) K() int { return len(p.components) }
+
+// ExplainedVariances returns the per-component variances, descending.
+func (p *PCA) ExplainedVariances() []float64 {
+	out := make([]float64, len(p.variances))
+	copy(out, p.variances)
+	return out
+}
+
+// Transform projects one sample.
+func (p *PCA) Transform(row []float64) []float64 {
+	out := make([]float64, len(p.components))
+	for k, comp := range p.components {
+		var s float64
+		for j, v := range row {
+			s += (v - p.mean[j]) * comp[j]
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// TransformAll projects every sample.
+func (p *PCA) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = p.Transform(row)
+	}
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations,
+// returning eigenvalues and the matrix of eigenvectors (columns).
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range a {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	for sweep := 0; sweep < 64; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				if math.Abs(m[i][j]) < 1e-15 {
+					continue
+				}
+				theta := (m[j][j] - m[i][i]) / (2 * m[i][j])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cos := 1 / math.Sqrt(t*t+1)
+				sin := t * cos
+				for k := 0; k < n; k++ {
+					mik, mjk := m[i][k], m[j][k]
+					m[i][k] = cos*mik - sin*mjk
+					m[j][k] = sin*mik + cos*mjk
+				}
+				for k := 0; k < n; k++ {
+					mki, mkj := m[k][i], m[k][j]
+					m[k][i] = cos*mki - sin*mkj
+					m[k][j] = sin*mki + cos*mkj
+				}
+				for k := 0; k < n; k++ {
+					vki, vkj := v[k][i], v[k][j]
+					v[k][i] = cos*vki - sin*vkj
+					v[k][j] = sin*vki + cos*vkj
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, v
+}

@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pipeline is the paper's full ML detector: standardize, project with PCA
+// (527 -> 11 in the paper), then classify.
+type Pipeline struct {
+	Components int // PCA dimensionality (default 11)
+	Model      Model
+
+	scaler *Scaler
+	pca    *PCA
+	// post standardizes the PCA projections (whitening): principal
+	// components carry wildly different variances, which throws off
+	// margin-based models.
+	post *Scaler
+}
+
+// Fit trains the whole pipeline on labelled feature vectors.
+func (p *Pipeline) Fit(x [][]float64, y []int) error {
+	if p.Model == nil {
+		return fmt.Errorf("pipeline: nil model")
+	}
+	if p.Components <= 0 {
+		p.Components = 11
+	}
+	if err := checkDataset(x, y); err != nil {
+		return err
+	}
+	p.scaler = FitScaler(x)
+	scaled := p.scaler.TransformAll(x)
+	k := p.Components
+	if k > len(x[0]) {
+		k = len(x[0])
+	}
+	if k > len(x) {
+		k = len(x)
+	}
+	pca, err := FitPCA(scaled, k)
+	if err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	p.pca = pca
+	proj := pca.TransformAll(scaled)
+	p.post = FitScaler(proj)
+	return p.Model.Fit(p.post.TransformAll(proj), y)
+}
+
+// Predict classifies one raw feature vector.
+func (p *Pipeline) Predict(row []float64) int {
+	return p.Model.Predict(p.post.Transform(p.pca.Transform(p.scaler.Transform(row))))
+}
+
+// Name returns the underlying model name.
+func (p *Pipeline) Name() string { return p.Model.Name() }
+
+// EvaluatePipeline tallies a confusion matrix for the fitted pipeline.
+func EvaluatePipeline(p *Pipeline, x [][]float64, y []int) Confusion {
+	var c Confusion
+	for i := range x {
+		pred := p.Predict(x[i])
+		switch {
+		case pred == 1 && y[i] == 1:
+			c.TP++
+		case pred == 1 && y[i] == -1:
+			c.FP++
+		case pred == -1 && y[i] == -1:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c
+}
+
+// TrainTestSplit shuffles deterministically and splits the dataset.
+func TrainTestSplit(x [][]float64, y []int, testFrac float64, seed int64) (xtr [][]float64, ytr []int, xte [][]float64, yte []int, err error) {
+	if err := checkDataset(x, y); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("detect: testFrac %v out of (0,1)", testFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(x))
+	nTest := int(float64(len(x)) * testFrac)
+	if nTest == 0 {
+		nTest = 1
+	}
+	for i, idx := range perm {
+		if i < nTest {
+			xte = append(xte, x[idx])
+			yte = append(yte, y[idx])
+		} else {
+			xtr = append(xtr, x[idx])
+			ytr = append(ytr, y[idx])
+		}
+	}
+	return xtr, ytr, xte, yte, nil
+}

@@ -1,0 +1,76 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a score-threshold detector.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64
+	FPR       float64
+}
+
+// ROC computes the receiver operating characteristic of a scalar-score
+// detector (higher score = more malicious) from labelled scores. Points
+// are returned in increasing-FPR order, including the (0,0) and (1,1)
+// endpoints.
+func ROC(benignScores, maliciousScores []float64) ([]ROCPoint, error) {
+	if len(benignScores) == 0 || len(maliciousScores) == 0 {
+		return nil, fmt.Errorf("detect: ROC needs both classes (benign %d, malicious %d)",
+			len(benignScores), len(maliciousScores))
+	}
+	// Candidate thresholds: every distinct score.
+	all := make([]float64, 0, len(benignScores)+len(maliciousScores))
+	all = append(all, benignScores...)
+	all = append(all, maliciousScores...)
+	sort.Float64s(all)
+
+	points := make([]ROCPoint, 0, len(all)+2)
+	add := func(th float64) {
+		var tp, fp int
+		for _, s := range maliciousScores {
+			if s > th {
+				tp++
+			}
+		}
+		for _, s := range benignScores {
+			if s > th {
+				fp++
+			}
+		}
+		points = append(points, ROCPoint{
+			Threshold: th,
+			TPR:       float64(tp) / float64(len(maliciousScores)),
+			FPR:       float64(fp) / float64(len(benignScores)),
+		})
+	}
+	add(all[len(all)-1]) // strictest: everything benign
+	for i := len(all) - 1; i >= 0; i-- {
+		if i == len(all)-1 || all[i] != all[i+1] {
+			if i > 0 {
+				add(all[i-1] + (all[i]-all[i-1])/2)
+			}
+		}
+	}
+	add(all[0] - 1) // loosest: everything malicious
+
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].FPR != points[j].FPR {
+			return points[i].FPR < points[j].FPR
+		}
+		return points[i].TPR < points[j].TPR
+	})
+	return points, nil
+}
+
+// AUC integrates the ROC curve with the trapezoid rule.
+func AUC(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}

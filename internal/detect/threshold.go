@@ -1,0 +1,62 @@
+// Package detect implements the paper's two detection mechanisms: the
+// RSX-rate threshold classifier (Section VI-C: 2.5e9 RSX instructions per
+// minute, 100% miner detection, <2% false positives), and the supplemental
+// machine-learning pipeline of Section VI-E (PCA from 527 to 11 features,
+// then SVM / logistic regression / decision tree / kNN) that extends
+// detection to aggressively throttled miners.
+package detect
+
+// ThresholdDetector classifies a workload from its RSX rate.
+type ThresholdDetector struct {
+	// PerMinute is the alert threshold in RSX instructions per minute.
+	PerMinute float64
+}
+
+// DefaultThreshold returns the paper's 2.5B/min detector.
+func DefaultThreshold() ThresholdDetector {
+	return ThresholdDetector{PerMinute: 2.5e9}
+}
+
+// Malicious reports whether an observed rate (RSX instructions per minute)
+// exceeds the threshold.
+func (t ThresholdDetector) Malicious(rsxPerMin float64) bool {
+	return rsxPerMin > t.PerMinute
+}
+
+// Sweep evaluates candidate thresholds against labelled rates and returns,
+// for each candidate, the detection rate over positives and the false
+// positive rate over negatives. Used to reproduce the paper's threshold
+// selection over 153 benign workloads.
+type SweepPoint struct {
+	Threshold     float64
+	DetectionRate float64
+	FPR           float64
+}
+
+// Sweep runs the candidate thresholds over the labelled rates.
+func Sweep(candidates []float64, benignRates, maliciousRates []float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(candidates))
+	for _, th := range candidates {
+		d := ThresholdDetector{PerMinute: th}
+		var tp, fp int
+		for _, r := range maliciousRates {
+			if d.Malicious(r) {
+				tp++
+			}
+		}
+		for _, r := range benignRates {
+			if d.Malicious(r) {
+				fp++
+			}
+		}
+		p := SweepPoint{Threshold: th}
+		if len(maliciousRates) > 0 {
+			p.DetectionRate = float64(tp) / float64(len(maliciousRates))
+		}
+		if len(benignRates) > 0 {
+			p.FPR = float64(fp) / float64(len(benignRates))
+		}
+		out = append(out, p)
+	}
+	return out
+}

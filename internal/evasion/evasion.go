@@ -1,0 +1,194 @@
+// Package evasion implements the attacker-side evasion techniques the
+// paper's defense is designed to withstand (Sections III, VI-B, VI-E):
+//
+//   - code obfuscation: rewriting rotate instructions into the
+//     shift/or sequences of equations 6a/6b, and re-encoding XOR with OR
+//     logic (A xor B = (A and not B) or (not A and B));
+//   - throttled execution (duty-cycle reduction);
+//   - multi-threaded work splitting (via miner.SpawnMiner / kernel clones).
+//
+// The obfuscator is a real program rewriter: it expands instructions in
+// place and remaps every branch target, so obfuscated kernels still compute
+// bit-identical results — which the tests enforce.
+package evasion
+
+import (
+	"fmt"
+
+	"darkarts/internal/isa"
+)
+
+// Rewriter maps one instruction to its replacement sequence; returning nil
+// keeps the instruction unchanged. Replacement sequences must not contain
+// branch instructions (targets could not be remapped).
+type Rewriter func(in isa.Inst) []isa.Inst
+
+// RewriteProgram applies fn to every instruction and fixes up all branch
+// targets and symbols to account for expansion.
+func RewriteProgram(p *isa.Program, fn Rewriter) (*isa.Program, error) {
+	newIdx := make([]int, len(p.Code)+1)
+	var out []isa.Inst
+	for i, in := range p.Code {
+		newIdx[i] = len(out)
+		rep := fn(in)
+		if rep == nil {
+			out = append(out, in)
+			continue
+		}
+		for _, r := range rep {
+			if r.Op.IsBranch() {
+				return nil, fmt.Errorf("rewrite %s at %d: replacement contains branch %s", p.Name, i, r.Op)
+			}
+		}
+		out = append(out, rep...)
+	}
+	newIdx[len(p.Code)] = len(out)
+
+	// Remap branch targets: only instructions copied verbatim can be
+	// branches, and their Imm still holds an original index.
+	final := out
+	for i := range final {
+		if final[i].Op.IsBranch() && final[i].Op != isa.RET {
+			old := final[i].Imm
+			if old < 0 || old > int64(len(p.Code)) {
+				return nil, fmt.Errorf("rewrite %s: branch target %d out of range", p.Name, old)
+			}
+			final[i].Imm = int64(newIdx[old])
+		}
+	}
+
+	symbols := make(map[string]int, len(p.Symbols))
+	for name, idx := range p.Symbols {
+		symbols[name] = newIdx[idx]
+	}
+	q := &isa.Program{
+		Name:     p.Name + "+obf",
+		Code:     final,
+		Entry:    newIdx[p.Entry],
+		Symbols:  symbols,
+		DataSize: p.DataSize,
+		Data:     append([]byte(nil), p.Data...),
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ObfuscateRotates rewrites every rotate instruction into the equivalent
+// shift/or sequence (equations 6a and 6b):
+//
+//	Rl^n = Sl^n  OR  Sr^(64-n)
+//	Rr^n = Sr^n  OR  Sl^(64-n)
+//
+// s1 and s2 are caller-guaranteed dead scratch registers, distinct from
+// each other and from every operand of the rewritten instructions.
+func ObfuscateRotates(p *isa.Program, s1, s2 isa.Reg) (*isa.Program, error) {
+	if s1 == s2 {
+		return nil, fmt.Errorf("obfuscate %s: scratch registers alias", p.Name)
+	}
+	return RewriteProgram(p, func(in isa.Inst) []isa.Inst {
+		switch in.Op {
+		case isa.ROLI, isa.RORI:
+			n := in.Imm & 63
+			a, b := isa.SHLI, isa.SHRI
+			if in.Op == isa.RORI {
+				a, b = isa.SHRI, isa.SHLI
+			}
+			return []isa.Inst{
+				{Op: a, Rd: s1, Rs1: in.Rs1, Imm: n},
+				{Op: b, Rd: s2, Rs1: in.Rs1, Imm: (64 - n) & 63},
+				{Op: isa.OR, Rd: in.Rd, Rs1: s1, Rs2: s2},
+			}
+		case isa.ROL, isa.ROR:
+			a, b := isa.SHL, isa.SHR
+			if in.Op == isa.ROR {
+				a, b = isa.SHR, isa.SHL
+			}
+			return []isa.Inst{
+				{Op: a, Rd: s1, Rs1: in.Rs1, Rs2: in.Rs2},
+				{Op: isa.MOVI, Rd: s2, Imm: 64},
+				{Op: isa.SUB, Rd: s2, Rs1: s2, Rs2: in.Rs2},
+				{Op: b, Rd: s2, Rs1: in.Rs1, Rs2: s2},
+				{Op: isa.OR, Rd: in.Rd, Rs1: s1, Rs2: s2},
+			}
+		case isa.ROL32I, isa.ROR32I:
+			n := in.Imm & 31
+			a, b := isa.SHLI, isa.SHRI
+			if in.Op == isa.ROR32I {
+				a, b = isa.SHRI, isa.SHLI
+			}
+			return []isa.Inst{
+				{Op: isa.ANDI, Rd: s1, Rs1: in.Rs1, Imm: 0xFFFFFFFF},
+				{Op: a, Rd: s2, Rs1: s1, Imm: n},
+				{Op: b, Rd: s1, Rs1: s1, Imm: 32 - n},
+				{Op: isa.OR, Rd: s1, Rs1: s1, Rs2: s2},
+				{Op: isa.ANDI, Rd: in.Rd, Rs1: s1, Imm: 0xFFFFFFFF},
+			}
+		}
+		return nil
+	})
+}
+
+// ObfuscateXorToOr re-encodes XOR as (A AND NOT B) OR (NOT A AND B),
+// the Section VI-B attack the RSXO tag set answers.
+func ObfuscateXorToOr(p *isa.Program, s1, s2 isa.Reg) (*isa.Program, error) {
+	if s1 == s2 {
+		return nil, fmt.Errorf("obfuscate %s: scratch registers alias", p.Name)
+	}
+	return RewriteProgram(p, func(in isa.Inst) []isa.Inst {
+		switch in.Op {
+		case isa.XOR:
+			return []isa.Inst{
+				{Op: isa.NOT, Rd: s1, Rs1: in.Rs2},
+				{Op: isa.AND, Rd: s1, Rs1: s1, Rs2: in.Rs1},
+				{Op: isa.NOT, Rd: s2, Rs1: in.Rs1},
+				{Op: isa.AND, Rd: s2, Rs1: s2, Rs2: in.Rs2},
+				{Op: isa.OR, Rd: in.Rd, Rs1: s1, Rs2: s2},
+			}
+		case isa.XORI:
+			return []isa.Inst{
+				{Op: isa.NOT, Rd: s1, Rs1: in.Rs1},
+				{Op: isa.ANDI, Rd: s1, Rs1: s1, Imm: in.Imm},
+				{Op: isa.ANDI, Rd: s2, Rs1: in.Rs1, Imm: ^in.Imm},
+				{Op: isa.OR, Rd: in.Rd, Rs1: s1, Rs2: s2},
+			}
+		}
+		return nil
+	})
+}
+
+// RotateFreeRates transforms a per-class instruction-rate tuple the way the
+// rotate obfuscation transforms real code: every rotate becomes two shifts
+// and an or. Used by rate-model experiments (the ablation showing that a
+// rotate-only counter is evadable while the aggregate RSX counter is not).
+type ClassRates struct {
+	Rotate, Shift, Xor, Or float64
+}
+
+// RSX returns rotate+shift+xor.
+func (r ClassRates) RSX() float64 { return r.Rotate + r.Shift + r.Xor }
+
+// RSXO additionally includes or.
+func (r ClassRates) RSXO() float64 { return r.RSX() + r.Or }
+
+// RotateFreeRates applies equations 6a/6b at the rate level.
+func RotateFreeRates(r ClassRates) ClassRates {
+	return ClassRates{
+		Rotate: 0,
+		Shift:  r.Shift + 2*r.Rotate,
+		Xor:    r.Xor,
+		Or:     r.Or + r.Rotate,
+	}
+}
+
+// XorFreeRates applies the XOR→OR re-encoding at the rate level: each xor
+// becomes 2 nots, 2 ands and an or (only or is RSXO-visible).
+func XorFreeRates(r ClassRates) ClassRates {
+	return ClassRates{
+		Rotate: r.Rotate,
+		Shift:  r.Shift,
+		Xor:    0,
+		Or:     r.Or + r.Xor,
+	}
+}

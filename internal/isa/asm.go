@@ -1,0 +1,400 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses textual assembly into a Program. The syntax matches what
+// Disassemble emits, so the two round-trip:
+//
+//	; comments run to end of line
+//	.name  keccak            ; optional program name
+//	.data  4096              ; zero-initialised data bytes
+//	start:
+//	    MOVI r1, 42
+//	    XOR  r2, r1, r1
+//	    LD   r3, [r28+16]
+//	    ST   [r28+24], r3
+//	    CMPI r1, 0
+//	    JNE  start
+//	    HALT
+//
+// Registers are r0..r31 (sp/fp aliases accepted). Branch targets are
+// labels. Immediates are decimal or 0x-hex, optionally negative.
+func Assemble(src string) (*Program, error) {
+	b := NewBuilder("asm")
+	var dataSize int64
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("asm line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".name":
+				if len(fields) != 2 {
+					return nil, fail(".name wants one argument")
+				}
+				b = renameBuilder(b, fields[1])
+			case ".data":
+				if len(fields) != 2 {
+					return nil, fail(".data wants one argument")
+				}
+				n, err := parseImm(fields[1])
+				if err != nil || n < 0 {
+					return nil, fail("bad .data size %q", fields[1])
+				}
+				dataSize = n
+			default:
+				return nil, fail("unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 && !strings.ContainsAny(line[:i], " \t,[") {
+				b.Label(line[:i])
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+
+		if err := assembleInst(b, line); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.DataSize = dataSize
+	return p, nil
+}
+
+// renameBuilder rebuilds the builder under a new name (only legal before
+// any instruction was emitted).
+func renameBuilder(b *Builder, name string) *Builder {
+	if b.Len() == 0 {
+		nb := NewBuilder(name)
+		return nb
+	}
+	b.name = name
+	return b
+}
+
+// opByName resolves a mnemonic.
+func opByName(name string) (Op, bool) {
+	for _, op := range AllOps() {
+		if op.String() == strings.ToUpper(name) {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}
+
+func parseReg(tok string) (Reg, error) {
+	switch strings.ToLower(tok) {
+	case "sp":
+		return SP, nil
+	case "fp":
+		return FP, nil
+	}
+	if len(tok) >= 2 && (tok[0] == 'r' || tok[0] == 'R') {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+func parseImm(tok string) (int64, error) {
+	return strconv.ParseInt(tok, 0, 64)
+}
+
+// parseMem parses "[rX+imm]" / "[rX-imm]" / "[rX]".
+func parseMem(tok string) (Reg, int64, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := parseImm(inner[sep:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", tok)
+	}
+	return r, off, nil
+}
+
+func assembleInst(b *Builder, line string) error {
+	// Tokenize: mnemonic, then comma-separated operands.
+	sp := strings.IndexAny(line, " \t")
+	mnemonic := line
+	rest := ""
+	if sp >= 0 {
+		mnemonic = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	op, ok := opByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var operands []string
+	if rest != "" {
+		for _, t := range strings.Split(rest, ",") {
+			operands = append(operands, strings.TrimSpace(t))
+		}
+	}
+	want := func(n int) error {
+		if len(operands) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(operands))
+		}
+		return nil
+	}
+
+	switch {
+	case op == NOP || op == HALT || op == RET:
+		if err := want(0); err != nil {
+			return err
+		}
+		b.Emit(Inst{Op: op})
+
+	case op == MOVI:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(operands[1])
+		if err != nil {
+			return err
+		}
+		b.Movi(rd, imm)
+
+	case op == MOV || op == NOT || op == NEG:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(operands[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(Inst{Op: op, Rd: rd, Rs1: rs})
+
+	case op == INC || op == DEC:
+		if err := want(1); err != nil {
+			return err
+		}
+		rd, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		b.Emit(Inst{Op: op, Rd: rd})
+
+	case op == PUSH:
+		if err := want(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		b.Push(rs)
+
+	case op == POP:
+		if err := want(1); err != nil {
+			return err
+		}
+		rd, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		b.Pop(rd)
+
+	case op.Is(ClassLoad): // LD rd, [base+off]
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(operands[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+
+	case op.Is(ClassStore): // ST [base+off], rs
+		if err := want(2); err != nil {
+			return err
+		}
+		base, off, err := parseMem(operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(operands[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(Inst{Op: op, Rs1: base, Imm: off, Rs2: rs})
+
+	case op == CMP || op == TEST:
+		if err := want(2); err != nil {
+			return err
+		}
+		a, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		c, err := parseReg(operands[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(Inst{Op: op, Rs1: a, Rs2: c})
+
+	case op == CMPI:
+		if err := want(2); err != nil {
+			return err
+		}
+		a, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(operands[1])
+		if err != nil {
+			return err
+		}
+		b.Cmpi(a, imm)
+
+	case op == JMP || op == CALL:
+		if err := want(1); err != nil {
+			return err
+		}
+		if op == JMP {
+			b.Jmp(operands[0])
+		} else {
+			b.Call(operands[0])
+		}
+
+	case op.IsCondBranch():
+		if err := want(1); err != nil {
+			return err
+		}
+		b.Jcc(op, operands[0])
+
+	case hasImmOperand(op): // rd, rs1, imm
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(operands[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(operands[2])
+		if err != nil {
+			return err
+		}
+		b.OpI(op, rd, rs, imm)
+
+	default: // rd, rs1, rs2
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(operands[0])
+		if err != nil {
+			return err
+		}
+		r1, err := parseReg(operands[1])
+		if err != nil {
+			return err
+		}
+		r2, err := parseReg(operands[2])
+		if err != nil {
+			return err
+		}
+		b.Op3(op, rd, r1, r2)
+	}
+	return nil
+}
+
+// Disassemble renders a program back to assembleable text. Branch targets
+// become synthetic labels (or original symbol names where known).
+func Disassemble(p *Program) string {
+	// Collect label positions: program symbols plus branch targets.
+	labels := map[int]string{}
+	for name, idx := range p.Symbols {
+		labels[idx] = name
+	}
+	next := 0
+	for _, in := range p.Code {
+		if in.Op.IsBranch() && in.Op != RET {
+			idx := int(in.Imm)
+			if _, ok := labels[idx]; !ok {
+				labels[idx] = fmt.Sprintf("L%d", next)
+				next++
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, ".name %s\n", sanitizeName(p.Name))
+	if p.DataSize > 0 {
+		fmt.Fprintf(&b, ".data %d\n", p.DataSize)
+	}
+	for i, in := range p.Code {
+		if lbl, ok := labels[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		if in.Op.IsBranch() && in.Op != RET {
+			fmt.Fprintf(&b, "    %s %s\n", in.Op, labels[int(in.Imm)])
+			continue
+		}
+		fmt.Fprintf(&b, "    %s\n", in.String())
+	}
+	return b.String()
+}
+
+func sanitizeName(n string) string {
+	if n == "" {
+		return "program"
+	}
+	return strings.ReplaceAll(n, " ", "_")
+}

@@ -1,0 +1,146 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleAsm = `
+; sum 1..10 into r0, with memory and stack traffic
+.name sum10
+.data 64
+    MOVI r0, 0
+    MOVI r1, 1
+loop:
+    ADD  r0, r0, r1
+    ST   [r28+8], r0
+    LD   r2, [r28+8]
+    PUSH r2
+    POP  r3
+    ADDI r1, r1, 1
+    CMPI r1, 10
+    JLE  loop
+    HALT
+`
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p, err := Assemble(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sum10" || p.DataSize != 64 {
+		t.Errorf("meta: name=%q data=%d", p.Name, p.DataSize)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.SymbolAt("loop"); !ok {
+		t.Error("label lost")
+	}
+	h := p.StaticHistogram()
+	if h[ADD] != 1 || h[ST] != 1 || h[LD] != 1 || h[JLE] != 1 || h[PUSH] != 1 {
+		t.Errorf("histogram: %v", h)
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	p1, err := Assemble(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("length changed: %d -> %d", len(p1.Code), len(p2.Code))
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Errorf("inst %d: %s != %s", i, p1.Code[i], p2.Code[i])
+		}
+	}
+	if p1.DataSize != p2.DataSize {
+		t.Error("data size changed")
+	}
+}
+
+func TestAssembleAllOperandShapes(t *testing.T) {
+	src := `
+x:
+    NOP
+    MOV  r1, r2
+    NOT  r3, r4
+    NEG  r5, r6
+    INC  r7
+    DEC  r8
+    LEA  r9, r28, 128
+    LD8  r1, [sp-8]
+    ST32 [fp+4], r2
+    ROL  r1, r2, r3
+    RORI r4, r5, 13
+    ROR32I r6, r7, 5
+    TEST r1, r2
+    CALL x
+    JMP  x
+    RET
+    HALT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[7].Rs1 != SP || p.Code[7].Imm != -8 {
+		t.Errorf("sp-relative load parsed as %s", p.Code[7])
+	}
+	if p.Code[8].Rs1 != FP || p.Code[8].Imm != 4 {
+		t.Errorf("fp-relative store parsed as %s", p.Code[8])
+	}
+	// Round-trip this too.
+	if _, err := Assemble(Disassemble(p)); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "FROB r1, r2, r3",
+		"bad register":     "MOV r1, r99",
+		"bad operand count": "ADD r1, r2",
+		"bad memory":       "LD r1, r2",
+		"undefined label":  "JMP nowhere",
+		"bad directive":    ".frobnicate 3",
+		"bad data":         ".data x",
+		"bad imm":          "MOVI r1, lots",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestAssembleHexAndNegativeImmediates(t *testing.T) {
+	p, err := Assemble("MOVI r1, 0xff\nMOVI r2, -42\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 255 || p.Code[1].Imm != -42 {
+		t.Errorf("imms: %d %d", p.Code[0].Imm, p.Code[1].Imm)
+	}
+}
+
+func TestDisassembleSyntheticLabels(t *testing.T) {
+	b := NewBuilder("loop")
+	b.Movi(R1, 3)
+	b.Label("top")
+	b.OpI(SUBI, R1, R1, 1)
+	b.Cmpi(R1, 0)
+	b.Jcc(JNE, "top")
+	b.Halt()
+	text := Disassemble(b.MustBuild())
+	if !strings.Contains(text, "top:") {
+		t.Errorf("original label lost:\n%s", text)
+	}
+}

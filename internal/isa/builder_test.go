@@ -1,0 +1,116 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderForwardBackwardLabels(t *testing.T) {
+	b := NewBuilder("labels")
+	b.Movi(R0, 0)
+	b.Label("loop")
+	b.OpI(ADDI, R0, R0, 1)
+	b.Cmpi(R0, 10)
+	b.Jcc(JNE, "loop") // backward
+	b.Jmp("done")      // forward
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	loop, ok := p.SymbolAt("loop")
+	if !ok || loop != 1 {
+		t.Errorf("loop symbol = %d, %v", loop, ok)
+	}
+	if p.Code[3].Imm != int64(loop) {
+		t.Errorf("backward branch target = %d, want %d", p.Code[3].Imm, loop)
+	}
+	done, _ := p.SymbolAt("done")
+	if p.Code[4].Imm != int64(done) {
+		t.Errorf("forward branch target = %d, want %d", p.Code[4].Imm, done)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("Build error = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("a").Nop().Label("a").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Errorf("Build error = %v, want redefined label", err)
+	}
+}
+
+func TestBuilderJccRejectsNonConditional(t *testing.T) {
+	b := NewBuilder("jcc")
+	b.Label("x").Jcc(JMP, "x")
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted Jcc(JMP)")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Program
+		ok   bool
+	}{
+		{"empty", Program{Name: "e"}, true},
+		{"good", Program{Name: "g", Code: []Inst{{Op: NOP}, {Op: HALT}}}, true},
+		{"invalid op", Program{Name: "i", Code: []Inst{{}}}, false},
+		{"branch oob", Program{Name: "b", Code: []Inst{{Op: JMP, Imm: 9}}}, false},
+		{"entry oob", Program{Name: "n", Code: []Inst{{Op: NOP}}, Entry: 5}, false},
+	}
+	for _, tt := range tests {
+		err := tt.p.Validate()
+		if (err == nil) != tt.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tt.name, err, tt.ok)
+		}
+	}
+}
+
+func TestStaticHistogram(t *testing.T) {
+	p := NewBuilder("hist").
+		Op3(XOR, R1, R1, R2).
+		Op3(XOR, R2, R2, R3).
+		OpI(RORI, R1, R1, 7).
+		Mov(R4, R1).
+		Halt().
+		MustBuild()
+	h := p.StaticHistogram()
+	if h[XOR] != 2 || h[RORI] != 1 || h[MOV] != 1 || h[HALT] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on undefined label")
+		}
+	}()
+	NewBuilder("panic").Jmp("missing").MustBuild()
+}
+
+func TestBuilderEmitsExpectedCount(t *testing.T) {
+	b := NewBuilder("count")
+	for i := 0; i < 100; i++ {
+		b.Op3(ADD, R1, R1, R2)
+	}
+	if b.Len() != 100 {
+		t.Errorf("Len() = %d", b.Len())
+	}
+	p := b.Halt().MustBuild()
+	if p.Len() != 101 {
+		t.Errorf("program Len() = %d", p.Len())
+	}
+}

@@ -1,0 +1,163 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := make(map[string]Op)
+	for _, op := range AllOps() {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "Op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("mnemonic %q shared by %d and %d", s, prev, op)
+		}
+		seen[s] = op
+	}
+}
+
+func TestOpInvalid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid.Valid() = true")
+	}
+	if got := OpInvalid.String(); got != "INVALID" {
+		t.Errorf("OpInvalid.String() = %q", got)
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200).Valid() = true")
+	}
+	for _, op := range AllOps() {
+		if !op.Valid() {
+			t.Errorf("%s.Valid() = false", op)
+		}
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want Class
+	}{
+		{ROL, ClassRotate}, {ROR, ClassRotate}, {ROLI, ClassRotate}, {RORI, ClassRotate},
+		{SHL, ClassShift}, {SHR, ClassShift}, {SAR, ClassShift},
+		{SHLI, ClassShift}, {SHRI, ClassShift}, {SARI, ClassShift},
+		{XOR, ClassXor}, {XORI, ClassXor},
+		{OR, ClassOr}, {ORI, ClassOr},
+		{AND, ClassAnd}, {ANDI, ClassAnd},
+		{LD, ClassLoad}, {LD8, ClassLoad}, {POP, ClassLoad},
+		{ST, ClassStore}, {ST8, ClassStore}, {PUSH, ClassStore},
+		{JMP, ClassBranch}, {CALL, ClassBranch}, {RET, ClassBranch},
+		{ADD, ClassArith}, {MUL, ClassMulDiv}, {DIV, ClassMulDiv},
+		{MOV, ClassMove}, {MOVI, ClassMove},
+	}
+	for _, tt := range tests {
+		if !tt.op.Is(tt.want) {
+			t.Errorf("%s.Is(%b) = false, classes = %b", tt.op, tt.want, tt.op.Classes())
+		}
+	}
+}
+
+func TestRSXClassesDisjoint(t *testing.T) {
+	// An opcode must not be both a rotate and a shift: the RSX counter would
+	// double count. Same for xor/or.
+	for _, op := range AllOps() {
+		c := op.Classes()
+		if c&ClassRotate != 0 && c&ClassShift != 0 {
+			t.Errorf("%s is both rotate and shift", op)
+		}
+		if c&ClassXor != 0 && c&ClassOr != 0 {
+			t.Errorf("%s is both xor and or", op)
+		}
+	}
+}
+
+func TestCondBranchSubsetOfBranch(t *testing.T) {
+	for _, op := range AllOps() {
+		if op.IsCondBranch() && !op.IsBranch() {
+			t.Errorf("%s: IsCondBranch but not IsBranch", op)
+		}
+	}
+	if JMP.IsCondBranch() {
+		t.Error("JMP.IsCondBranch() = true")
+	}
+	if !JNE.IsCondBranch() {
+		t.Error("JNE.IsCondBranch() = false")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if got := R3.String(); got != "r3" {
+		t.Errorf("R3.String() = %q", got)
+	}
+	if got := SP.String(); got != "sp" {
+		t.Errorf("SP.String() = %q", got)
+	}
+	if got := FP.String(); got != "fp" {
+		t.Errorf("FP.String() = %q", got)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: XOR, Rd: R1, Rs1: R2, Rs2: R3}, "XOR r1, r2, r3"},
+		{Inst{Op: MOVI, Rd: R4, Imm: 42}, "MOVI r4, 42"},
+		{Inst{Op: LD, Rd: R1, Rs1: R2, Imm: 8}, "LD r1, [r2+8]"},
+		{Inst{Op: ST, Rs1: R2, Imm: -8, Rs2: R1}, "ST [r2-8], r1"},
+		{Inst{Op: PUSH, Rs1: R5}, "PUSH r5"},
+		{Inst{Op: POP, Rd: R5}, "POP r5"},
+		{Inst{Op: JNE, Imm: 12}, "JNE 12"},
+		{Inst{Op: RET}, "RET"},
+		{Inst{Op: CMP, Rs1: R1, Rs2: R2}, "CMP r1, r2"},
+		{Inst{Op: RORI, Rd: R1, Rs1: R1, Imm: 13}, "RORI r1, r1, 13"},
+		{Inst{Op: MOV, Rd: R1, Rs1: R2}, "MOV r1, r2"},
+		{Inst{Op: INC, Rd: R9}, "INC r9"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for _, op := range []Op{LD, LD8, LD16, LD32, ST, ST8, ST16, ST32, PUSH, POP} {
+		if !op.IsMem() {
+			t.Errorf("%s.IsMem() = false", op)
+		}
+	}
+	for _, op := range []Op{ADD, XOR, JMP, MOV, LEA} {
+		if op.IsMem() {
+			t.Errorf("%s.IsMem() = true", op)
+		}
+	}
+}
+
+func TestAllOpsCount(t *testing.T) {
+	ops := AllOps()
+	if len(ops) != NumOps-1 {
+		t.Errorf("AllOps() returned %d ops, want %d", len(ops), NumOps-1)
+	}
+}
+
+func TestOpStringTotal(t *testing.T) {
+	// Property: String never returns the fallback for valid ops, always the
+	// fallback for invalid ones.
+	f := func(raw uint8) bool {
+		op := Op(raw)
+		s := op.String()
+		if op.Valid() {
+			return !strings.HasPrefix(s, "Op(") && s != "INVALID"
+		}
+		return s == "INVALID" || strings.HasPrefix(s, "Op(")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

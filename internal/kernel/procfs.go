@@ -1,0 +1,153 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Tunables are the runtime-programmable detection parameters the paper
+// exposes through procfs: "the monitoring period and threshold for a
+// process are dynamically programmable at runtime using kernel tunables
+// that can be updated using procfs" (Section IV-B).
+type Tunables struct {
+	// ThresholdPerMin is the RSX-instructions-per-minute alert threshold
+	// (paper default: 2.5e9).
+	ThresholdPerMin uint64
+	// Period is the monitoring window; alerts fire only on sustained RSX
+	// rates across a whole window, never on sub-window bursts.
+	Period time.Duration
+	// Enabled turns the whole OS-side mechanism on/off (used by the
+	// overhead experiments).
+	Enabled bool
+	// MonitorRoot, normally false, includes uid-0 processes. The paper
+	// skips root processes to reduce overhead.
+	MonitorRoot bool
+	// SessionAggregation additionally aggregates RSX counts across whole
+	// process trees (an extension beyond the paper's tgid aggregation: it
+	// defeats miners that fork worker processes instead of threads).
+	SessionAggregation bool
+}
+
+// DefaultTunables returns the paper's deployment defaults.
+func DefaultTunables() Tunables {
+	return Tunables{
+		ThresholdPerMin: 2_500_000_000,
+		Period:          time.Minute,
+		Enabled:         true,
+	}
+}
+
+// thresholdForPeriod scales the per-minute threshold to the window length.
+func (t Tunables) thresholdForPeriod() uint64 {
+	return uint64(float64(t.ThresholdPerMin) * t.Period.Minutes())
+}
+
+// ProcFS is a tiny virtual filesystem exposing the tunables, mirroring
+// /proc/sys/. Paths are fixed: sys/rsx/{threshold_per_min,period_ms,
+// enabled,monitor_root}.
+type ProcFS struct {
+	k *Kernel
+}
+
+// procfs paths.
+const (
+	ProcThreshold   = "sys/rsx/threshold_per_min"
+	ProcPeriod      = "sys/rsx/period_ms"
+	ProcEnabled     = "sys/rsx/enabled"
+	ProcMonitorRoot = "sys/rsx/monitor_root"
+	ProcSessionAgg  = "sys/rsx/session_aggregation"
+)
+
+// List returns all exposed paths, sorted.
+func (p *ProcFS) List() []string {
+	paths := []string{ProcThreshold, ProcPeriod, ProcEnabled, ProcMonitorRoot, ProcSessionAgg}
+	sort.Strings(paths)
+	return paths
+}
+
+// Read returns the current value of a tunable or per-process file.
+func (p *ProcFS) Read(path string) (string, error) {
+	if pid, file, ok := parseProcPath(path); ok {
+		return p.k.readProcPid(pid, file)
+	}
+	t := p.k.tunables
+	switch path {
+	case ProcThreshold:
+		return strconv.FormatUint(t.ThresholdPerMin, 10), nil
+	case ProcPeriod:
+		return strconv.FormatInt(t.Period.Milliseconds(), 10), nil
+	case ProcEnabled:
+		return boolFile(t.Enabled), nil
+	case ProcMonitorRoot:
+		return boolFile(t.MonitorRoot), nil
+	case ProcSessionAgg:
+		return boolFile(t.SessionAggregation), nil
+	default:
+		return "", fmt.Errorf("procfs: no such file %q", path)
+	}
+}
+
+// Write updates a tunable or per-process file. Values take effect at the
+// next context switch, exactly like a sysctl.
+func (p *ProcFS) Write(path, value string) error {
+	if pid, file, ok := parseProcPath(path); ok {
+		return p.k.writeProcPid(pid, file, value)
+	}
+	value = strings.TrimSpace(value)
+	switch path {
+	case ProcThreshold:
+		v, err := strconv.ParseUint(value, 10, 64)
+		if err != nil || v == 0 {
+			return fmt.Errorf("procfs: %s: invalid threshold %q", path, value)
+		}
+		p.k.tunables.ThresholdPerMin = v
+	case ProcPeriod:
+		ms, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || ms <= 0 {
+			return fmt.Errorf("procfs: %s: invalid period %q", path, value)
+		}
+		p.k.tunables.Period = time.Duration(ms) * time.Millisecond
+	case ProcEnabled:
+		b, err := parseBoolFile(value)
+		if err != nil {
+			return fmt.Errorf("procfs: %s: %w", path, err)
+		}
+		p.k.tunables.Enabled = b
+	case ProcMonitorRoot:
+		b, err := parseBoolFile(value)
+		if err != nil {
+			return fmt.Errorf("procfs: %s: %w", path, err)
+		}
+		p.k.tunables.MonitorRoot = b
+	case ProcSessionAgg:
+		b, err := parseBoolFile(value)
+		if err != nil {
+			return fmt.Errorf("procfs: %s: %w", path, err)
+		}
+		p.k.tunables.SessionAggregation = b
+	default:
+		return fmt.Errorf("procfs: no such file %q", path)
+	}
+	return nil
+}
+
+func boolFile(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func parseBoolFile(s string) (bool, error) {
+	switch s {
+	case "0":
+		return false, nil
+	case "1":
+		return true, nil
+	default:
+		return false, fmt.Errorf("invalid boolean %q (want 0 or 1)", s)
+	}
+}

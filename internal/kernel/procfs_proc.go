@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Per-process procfs nodes, mirroring /proc/<pid>/: the RSX accounting of
+// any live task can be inspected at runtime, and a process can be exempted
+// from monitoring (the administrative answer to the paper's legitimate
+// sustained-encryption false positives).
+//
+//	proc/<pid>/rsx_count   cumulative RSX instructions of the thread group
+//	proc/<pid>/tgid        thread group id
+//	proc/<pid>/tcount      live threads sharing the tgid_rsx_t
+//	proc/<pid>/exempt      0/1: writing 1 stops monitoring the thread group
+
+// taskByPid finds a live task.
+func (k *Kernel) taskByPid(pid int) *Task {
+	for _, t := range k.tasks {
+		if t.Pid == pid && !t.exited {
+			return t
+		}
+	}
+	return nil
+}
+
+// readProcPid serves proc/<pid>/<file>.
+func (k *Kernel) readProcPid(pid int, file string) (string, error) {
+	t := k.taskByPid(pid)
+	if t == nil {
+		return "", fmt.Errorf("procfs: no such process %d", pid)
+	}
+	switch file {
+	case "rsx_count":
+		return strconv.FormatUint(t.rsxPtr.RSXCount(), 10), nil
+	case "tgid":
+		return strconv.Itoa(t.Tgid), nil
+	case "tcount":
+		return strconv.FormatInt(t.rsxPtr.ThreadCount(), 10), nil
+	case "exempt":
+		return boolFile(t.rsxPtr.exempt), nil
+	default:
+		return "", fmt.Errorf("procfs: no such file proc/%d/%s", pid, file)
+	}
+}
+
+// writeProcPid serves writes to proc/<pid>/<file>.
+func (k *Kernel) writeProcPid(pid int, file, value string) error {
+	t := k.taskByPid(pid)
+	if t == nil {
+		return fmt.Errorf("procfs: no such process %d", pid)
+	}
+	switch file {
+	case "exempt":
+		b, err := parseBoolFile(strings.TrimSpace(value))
+		if err != nil {
+			return fmt.Errorf("procfs: proc/%d/exempt: %w", pid, err)
+		}
+		t.rsxPtr.exempt = b
+		return nil
+	default:
+		return fmt.Errorf("procfs: proc/%d/%s is read-only or absent", pid, file)
+	}
+}
+
+// parseProcPath splits "proc/<pid>/<file>".
+func parseProcPath(path string) (pid int, file string, ok bool) {
+	parts := strings.Split(path, "/")
+	if len(parts) != 3 || parts[0] != "proc" {
+		return 0, "", false
+	}
+	pid, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, "", false
+	}
+	return pid, parts[2], true
+}

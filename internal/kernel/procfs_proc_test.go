@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestProcPidNodes(t *testing.T) {
+	k := newTestKernel(t)
+	main := k.Spawn("miner", 1000, &rsxRateWorkload{perMin: 5.7e9})
+	k.CloneThread(main, &rsxRateWorkload{perMin: 5.7e9})
+	k.Run(2 * time.Second)
+
+	fs := k.ProcFS()
+	read := func(file string) string {
+		v, err := fs.Read(fmt.Sprintf("proc/%d/%s", main.Pid, file))
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		return v
+	}
+	if got := read("tgid"); got != strconv.Itoa(main.Tgid) {
+		t.Errorf("tgid = %s", got)
+	}
+	if got := read("tcount"); got != "2" {
+		t.Errorf("tcount = %s", got)
+	}
+	count, err := strconv.ParseUint(read("rsx_count"), 10, 64)
+	if err != nil || count == 0 {
+		t.Errorf("rsx_count = %v (%v)", count, err)
+	}
+	if got := read("exempt"); got != "0" {
+		t.Errorf("exempt = %s", got)
+	}
+}
+
+func TestProcPidErrors(t *testing.T) {
+	k := newTestKernel(t)
+	fs := k.ProcFS()
+	if _, err := fs.Read("proc/9999/rsx_count"); err == nil {
+		t.Error("read of dead pid accepted")
+	}
+	task := k.Spawn("x", 1000, &rsxRateWorkload{})
+	if _, err := fs.Read(fmt.Sprintf("proc/%d/bogus", task.Pid)); err == nil {
+		t.Error("unknown file accepted")
+	}
+	if err := fs.Write(fmt.Sprintf("proc/%d/rsx_count", task.Pid), "0"); err == nil {
+		t.Error("write to read-only file accepted")
+	}
+	if err := fs.Write(fmt.Sprintf("proc/%d/exempt", task.Pid), "maybe"); err == nil {
+		t.Error("bad exempt value accepted")
+	}
+	if _, err := fs.Read("proc/notanumber/rsx_count"); err == nil {
+		t.Error("non-numeric pid accepted")
+	}
+}
+
+func TestExemptionSuppressesAlertsButKeepsAccounting(t *testing.T) {
+	k := newTestKernel(t)
+	// A legitimate bulk-encryption job well above threshold.
+	task := k.Spawn("backup-encryptor", 1000, &rsxRateWorkload{perMin: 40e9})
+	if err := k.ProcFS().Write(fmt.Sprintf("proc/%d/exempt", task.Pid), "1"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(5 * time.Second)
+	if n := len(k.Alerts()); n != 0 {
+		t.Errorf("exempt process raised %d alerts", n)
+	}
+	if task.RSX().RSXCount() == 0 {
+		t.Error("exemption stopped accounting; it must stay auditable")
+	}
+	// Removing the exemption resumes detection.
+	if err := k.ProcFS().Write(fmt.Sprintf("proc/%d/exempt", task.Pid), "0"); err != nil {
+		t.Fatal(err)
+	}
+	if !k.RunUntilAlert(5 * time.Second) {
+		t.Error("no alert after clearing exemption")
+	}
+}
+
+func TestExemptionSharedAcrossThreads(t *testing.T) {
+	k := newTestKernel(t)
+	main := k.Spawn("job", 1000, &rsxRateWorkload{perMin: 30e9})
+	clone := k.CloneThread(main, &rsxRateWorkload{perMin: 30e9})
+	if err := k.ProcFS().Write(fmt.Sprintf("proc/%d/exempt", clone.Pid), "1"); err != nil {
+		t.Fatal(err)
+	}
+	// Exempting via any thread covers the whole group (shared tgid_rsx_t).
+	v, err := k.ProcFS().Read(fmt.Sprintf("proc/%d/exempt", main.Pid))
+	if err != nil || v != "1" {
+		t.Errorf("main thread exempt = %q, %v", v, err)
+	}
+	k.Run(5 * time.Second)
+	if len(k.Alerts()) != 0 {
+		t.Error("exempt thread group alerted")
+	}
+}

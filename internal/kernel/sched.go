@@ -1,0 +1,323 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"darkarts/internal/cpu"
+)
+
+// AlertScope identifies which aggregation level tripped the threshold.
+type AlertScope string
+
+// Alert scopes.
+const (
+	// ScopeProcess is the paper's per-thread-group detection.
+	ScopeProcess AlertScope = "process"
+	// ScopeSession is the process-tree extension (session_aggregation).
+	ScopeSession AlertScope = "session"
+)
+
+// Alert is a cryptojacking detection event (Figure 3, step 4).
+type Alert struct {
+	Time       time.Duration // simulated time of the alert
+	Pid        int
+	Tgid       int
+	Name       string
+	Scope      AlertScope
+	RSXInWin   uint64  // RSX instructions observed in the monitoring window
+	RatePerMin float64 // normalized rate that tripped the threshold
+}
+
+// String renders the alert as the user-visible message.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%8.1fs] ALERT cryptojacking suspected: %s (pid %d, tgid %d): %.2fB RSX inst/min",
+		a.Time.Seconds(), a.Name, a.Pid, a.Tgid, a.RatePerMin/1e9)
+}
+
+// Config configures the simulated kernel.
+type Config struct {
+	// TimeSlice is the scheduler quantum (default 4ms, CFS-ish).
+	TimeSlice time.Duration
+	// Tunables are the initial detection parameters.
+	Tunables Tunables
+	// SampleCost is the per-context-switch overhead, in cycles, of the RSX
+	// housekeeping (counter read, tgid_rsx_t update, window check). It
+	// feeds the performance-overhead experiments; zero means free.
+	SampleCost uint64
+}
+
+// DefaultConfig returns a kernel configured like the paper's prototype.
+func DefaultConfig() Config {
+	return Config{
+		TimeSlice:  4 * time.Millisecond,
+		Tunables:   DefaultTunables(),
+		SampleCost: 400,
+	}
+}
+
+// Kernel is the simulated operating system: it owns the task list, the
+// ready queue, and the per-context-switch RSX sampling.
+type Kernel struct {
+	machine  *cpu.CPU
+	cfg      Config
+	tunables Tunables
+
+	nextPid int
+	tasks   []*Task
+	runq    []*Task
+
+	now      time.Duration
+	coreLast []uint64 // last RSX counter reading per core
+
+	alerts   []Alert
+	onAlert  func(Alert)
+	procfs   *ProcFS
+	// samples counts context-switch housekeeping invocations (for the
+	// overhead model).
+	samples uint64
+}
+
+// New returns a kernel managing the given machine.
+func New(machine *cpu.CPU, cfg Config) *Kernel {
+	if cfg.TimeSlice <= 0 {
+		cfg.TimeSlice = 4 * time.Millisecond
+	}
+	if cfg.Tunables.Period <= 0 {
+		cfg.Tunables = DefaultTunables()
+	}
+	k := &Kernel{
+		machine:  machine,
+		cfg:      cfg,
+		tunables: cfg.Tunables,
+		nextPid:  1000,
+		coreLast: make([]uint64, machine.Cores()),
+	}
+	k.procfs = &ProcFS{k: k}
+	return k
+}
+
+// ProcFS returns the tunables filesystem.
+func (k *Kernel) ProcFS() *ProcFS { return k.procfs }
+
+// Tunables returns the live tunable values.
+func (k *Kernel) Tunables() Tunables { return k.tunables }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Alerts returns all alerts raised so far (copy).
+func (k *Kernel) Alerts() []Alert {
+	out := make([]Alert, len(k.alerts))
+	copy(out, k.alerts)
+	return out
+}
+
+// OnAlert registers a callback invoked synchronously for each alert.
+func (k *Kernel) OnAlert(fn func(Alert)) { k.onAlert = fn }
+
+// Samples returns how many context-switch housekeeping operations ran.
+func (k *Kernel) Samples() uint64 { return k.samples }
+
+// Spawn creates a new process (fresh thread group) running w.
+func (k *Kernel) Spawn(name string, uid int, w Workload) *Task {
+	k.nextPid++
+	t := doFork(k.nextPid, cloneArgs{name: name, uid: uid, workload: w})
+	t.rsxPtr.windowStart = k.now
+	t.sessPtr.windowStart = k.now
+	k.tasks = append(k.tasks, t)
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// CloneThread creates a light-weight process sharing parent's thread group:
+// the Listing 2 path where rsx_ptr is inherited rather than allocated.
+func (k *Kernel) CloneThread(parent *Task, w Workload) *Task {
+	k.nextPid++
+	t := doFork(k.nextPid, cloneArgs{
+		parent: parent, sameTgid: true,
+		name: parent.Name, uid: parent.UID, workload: w,
+	})
+	k.tasks = append(k.tasks, t)
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// SpawnChildProcess forks a new process (fresh thread group) that remains
+// in the parent's session: its RSX stream aggregates into the parent's
+// session structure when the session_aggregation tunable is on — defeating
+// miners that split work across fork()ed workers instead of threads.
+func (k *Kernel) SpawnChildProcess(parent *Task, name string, w Workload) *Task {
+	k.nextPid++
+	t := doFork(k.nextPid, cloneArgs{
+		parent: parent, sameTgid: false,
+		name: name, uid: parent.UID, workload: w,
+	})
+	t.rsxPtr.windowStart = k.now
+	k.tasks = append(k.tasks, t)
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// Tasks returns all tasks ever created (including exited ones).
+func (k *Kernel) Tasks() []*Task {
+	out := make([]*Task, len(k.tasks))
+	copy(out, k.tasks)
+	return out
+}
+
+// Run advances the simulation by d of simulated time, scheduling runnable
+// tasks round-robin across all cores in time-slice quanta.
+func (k *Kernel) Run(d time.Duration) {
+	end := k.now + d
+	for k.now < end {
+		k.scheduleQuantum()
+		k.now += k.cfg.TimeSlice
+	}
+}
+
+// RunUntilAlert runs until the first alert or until d elapses; it reports
+// whether an alert fired.
+func (k *Kernel) RunUntilAlert(d time.Duration) bool {
+	end := k.now + d
+	base := len(k.alerts)
+	for k.now < end {
+		k.scheduleQuantum()
+		k.now += k.cfg.TimeSlice
+		if len(k.alerts) > base {
+			return true
+		}
+	}
+	return len(k.alerts) > base
+}
+
+// scheduleQuantum runs one time slice on every core. Tasks are picked for
+// all cores before any of them run so that a task can occupy at most one
+// core per quantum. A core packs tasks until their slice shares fill the
+// quantum: CPU-bound work claims a whole core, while interactive (mostly
+// I/O-blocked) tasks share one.
+func (k *Kernel) scheduleQuantum() {
+	type placement struct {
+		core int
+		task *Task
+	}
+	var plan []placement
+	var pending *Task // task that did not fit the previous core
+
+	for core := 0; core < k.machine.Cores(); core++ {
+		budget := 1.0
+		for budget > 0.001 {
+			task := pending
+			pending = nil
+			if task == nil {
+				task = k.nextRunnable()
+			}
+			if task == nil {
+				break
+			}
+			share := shareOf(task)
+			if share > budget && budget < 0.999 {
+				// Does not fit alongside the tasks already packed here;
+				// offer it to the next core.
+				pending = task
+				break
+			}
+			plan = append(plan, placement{core: core, task: task})
+			budget -= share
+		}
+	}
+	if pending != nil {
+		k.runq = append([]*Task{pending}, k.runq...)
+	}
+	for _, p := range plan {
+		k.dispatch(p.core, p.task)
+	}
+}
+
+// nextRunnable pops the next non-exited task from the ready queue.
+func (k *Kernel) nextRunnable() *Task {
+	for len(k.runq) > 0 {
+		t := k.runq[0]
+		k.runq = k.runq[1:]
+		if !t.exited {
+			return t
+		}
+	}
+	return nil
+}
+
+// dispatch runs task on core for one slice, then performs the paper's
+// context-switch housekeeping (Figure 3, step 3): sample the hardware RSX
+// counter, update the shared tgid structure, and check the threshold.
+func (k *Kernel) dispatch(coreID int, task *Task) {
+	core := k.machine.Core(coreID)
+	task.workload.RunSlice(core, k.cfg.TimeSlice)
+	k.contextSwitch(coreID, task)
+	if task.workload.Done() {
+		task.exit()
+		return
+	}
+	k.runq = append(k.runq, task)
+}
+
+// contextSwitch is the scheduler hook. The uid check comes first: "our
+// solution limits its monitoring to non-root processes ... by having the
+// scheduler check for a non-zero uid before performing any additional
+// processing."
+func (k *Kernel) contextSwitch(coreID int, task *Task) {
+	bank := k.machine.Core(coreID).Counters()
+	cur := bank.RSX()
+	delta := cur - k.coreLast[coreID]
+	k.coreLast[coreID] = cur
+
+	if !k.tunables.Enabled {
+		return
+	}
+	if task.UID == 0 && !k.tunables.MonitorRoot {
+		return
+	}
+	k.samples++
+
+	switchTime := k.now + k.cfg.TimeSlice
+	task.rsxPtr.add(delta)
+	k.checkWindow(task.rsxPtr, task, switchTime, ScopeProcess)
+
+	if k.tunables.SessionAggregation && task.sessPtr != nil && task.sessPtr != task.rsxPtr {
+		task.sessPtr.add(delta)
+		k.checkWindow(task.sessPtr, task, switchTime, ScopeSession)
+	}
+}
+
+// checkWindow applies the monitoring-window logic to one accounting
+// structure: only a sustained stream of RSX instructions across the whole
+// period can trip the threshold, never a short-lived burst.
+func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, scope AlertScope) {
+	if switchTime-g.windowStart < k.tunables.Period {
+		return
+	}
+	inWindow := g.rsxCount.Load() - g.windowBase
+	if inWindow > k.tunables.thresholdForPeriod() && !g.exempt {
+		a := Alert{
+			Time:       switchTime,
+			Pid:        task.Pid,
+			Tgid:       task.Tgid,
+			Name:       task.Name,
+			Scope:      scope,
+			RSXInWin:   inWindow,
+			RatePerMin: float64(inWindow) / k.tunables.Period.Minutes(),
+		}
+		g.alerted = true
+		k.alerts = append(k.alerts, a)
+		if k.onAlert != nil {
+			k.onAlert(a)
+		}
+	}
+	g.windowStart = switchTime
+	g.windowBase = g.rsxCount.Load()
+}
+
+// SampleOverheadCycles returns the modelled cycle cost of all housekeeping
+// performed so far (samples x per-sample cost).
+func (k *Kernel) SampleOverheadCycles() uint64 {
+	return k.samples * k.cfg.SampleCost
+}

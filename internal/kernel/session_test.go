@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"darkarts/internal/cpu"
+)
+
+// spawnForkedMiner builds a miner that splits its 5.7B/min stream across
+// n forked worker *processes* (distinct tgids) in one session.
+func spawnForkedMiner(k *Kernel, n int) []*Task {
+	perWorker := 5.7e9 / float64(n)
+	parent := k.Spawn("forked-miner", 1000, &rsxRateWorkload{perMin: perWorker})
+	tasks := []*Task{parent}
+	for i := 1; i < n; i++ {
+		tasks = append(tasks, k.SpawnChildProcess(parent, "forked-miner", &rsxRateWorkload{perMin: perWorker}))
+	}
+	return tasks
+}
+
+func TestForkedMinerEvadesTgidAggregation(t *testing.T) {
+	// The gap the paper leaves open: 4 forked workers each stay under the
+	// per-tgid threshold.
+	k := newTestKernel(t)
+	tasks := spawnForkedMiner(k, 4)
+	if tasks[1].Tgid == tasks[0].Tgid {
+		t.Fatal("forked workers share a tgid; test premise broken")
+	}
+	k.Run(10 * time.Second)
+	if n := len(k.Alerts()); n != 0 {
+		t.Errorf("forked miner alerted %d times without session aggregation", n)
+	}
+}
+
+func TestSessionAggregationCatchesForkedMiner(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.ProcFS().Write(ProcSessionAgg, "1"); err != nil {
+		t.Fatal(err)
+	}
+	tasks := spawnForkedMiner(k, 4)
+	if !k.RunUntilAlert(10 * time.Second) {
+		t.Fatal("session aggregation missed the forked miner")
+	}
+	a := k.Alerts()[0]
+	if a.Scope != ScopeSession {
+		t.Errorf("alert scope = %q, want session", a.Scope)
+	}
+	// All workers share the session structure.
+	for _, task := range tasks[1:] {
+		if task.Session() != tasks[0].Session() {
+			t.Error("workers do not share the session structure")
+		}
+	}
+	if got := tasks[0].Session().ThreadCount(); got != 4 {
+		t.Errorf("session tcount = %d", got)
+	}
+}
+
+func TestSessionAggregationNoExtraFalsePositives(t *testing.T) {
+	// A parent shell with several quiet children must stay silent even
+	// with session aggregation on.
+	k := newTestKernel(t)
+	if err := k.ProcFS().Write(ProcSessionAgg, "1"); err != nil {
+		t.Fatal(err)
+	}
+	parent := k.Spawn("shell", 1000, &rsxRateWorkload{perMin: 1e6})
+	for i := 0; i < 6; i++ {
+		k.SpawnChildProcess(parent, "tool", &rsxRateWorkload{perMin: 5e6})
+	}
+	k.Run(10 * time.Second)
+	if n := len(k.Alerts()); n != 0 {
+		t.Errorf("quiet process tree alerted %d times", n)
+	}
+}
+
+func TestSessionScopeAlertStillNamesProcess(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.ProcFS().Write(ProcSessionAgg, "1"); err != nil {
+		t.Fatal(err)
+	}
+	spawnForkedMiner(k, 2)
+	if !k.RunUntilAlert(10 * time.Second) {
+		t.Fatal("no alert")
+	}
+	for _, a := range k.Alerts() {
+		if a.Name != "forked-miner" {
+			t.Errorf("alert names %q", a.Name)
+		}
+	}
+}
+
+func TestProcessScopeDefault(t *testing.T) {
+	// With session aggregation off (paper default), alerts carry the
+	// process scope.
+	k := newTestKernel(t)
+	k.Spawn("monero", 1000, &rsxRateWorkload{perMin: 5.7e9})
+	if !k.RunUntilAlert(5 * time.Second) {
+		t.Fatal("no alert")
+	}
+	if a := k.Alerts()[0]; a.Scope != ScopeProcess {
+		t.Errorf("scope = %q", a.Scope)
+	}
+}
+
+func TestSessionExitAccounting(t *testing.T) {
+	k := newTestKernel(t)
+	oneShot := func() Workload {
+		return &FuncWorkload{F: func(c *cpu.Core, d time.Duration) bool { return true }}
+	}
+	parent := k.Spawn("p", 1000, oneShot())
+	child := k.SpawnChildProcess(parent, "c", oneShot())
+	if got := parent.Session().ThreadCount(); got != 2 {
+		t.Fatalf("session tcount = %d", got)
+	}
+	k.Run(time.Second) // both exit after one slice
+	if !parent.Exited() || !child.Exited() {
+		t.Fatal("tasks did not exit")
+	}
+	if got := parent.Session().ThreadCount(); got != 0 {
+		t.Errorf("session tcount after exits = %d", got)
+	}
+}

@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TopEntry is one row of the RSX accounting report (the `top`-style view a
+// responder would pull after an alert).
+type TopEntry struct {
+	Pid        int
+	Tgid       int
+	Name       string
+	UID        int
+	Threads    int64
+	RSXTotal   uint64
+	RatePerMin float64 // average since the task was first observed
+	Exempt     bool
+	Exited     bool
+}
+
+// TopRSX returns one entry per live thread group, sorted by cumulative RSX
+// descending. Rate is averaged over the task's observed lifetime.
+func (k *Kernel) TopRSX() []TopEntry {
+	seen := map[*TgidRSX]bool{}
+	var out []TopEntry
+	for _, t := range k.tasks {
+		if t.exited || seen[t.rsxPtr] {
+			continue
+		}
+		seen[t.rsxPtr] = true
+		lifetime := k.now - t.rsxPtr.windowStart
+		// windowStart advances per window; reconstruct lifetime from the
+		// kernel clock instead when the window already rolled.
+		if lifetime <= 0 {
+			lifetime = k.cfg.TimeSlice
+		}
+		rate := float64(t.rsxPtr.RSXCount()) / maxMinutes(k.now)
+		out = append(out, TopEntry{
+			Pid:        t.Pid,
+			Tgid:       t.Tgid,
+			Name:       t.Name,
+			UID:        t.UID,
+			Threads:    t.rsxPtr.ThreadCount(),
+			RSXTotal:   t.rsxPtr.RSXCount(),
+			RatePerMin: rate,
+			Exempt:     t.rsxPtr.exempt,
+			Exited:     t.exited,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RSXTotal != out[j].RSXTotal {
+			return out[i].RSXTotal > out[j].RSXTotal
+		}
+		return out[i].Pid < out[j].Pid
+	})
+	return out
+}
+
+func maxMinutes(d time.Duration) float64 {
+	m := d.Minutes()
+	if m <= 0 {
+		return 1.0 / 60 // one second floor
+	}
+	return m
+}
+
+// FormatTop renders the report as an aligned text table (for cryptojackd
+// and debugging sessions).
+func FormatTop(entries []TopEntry, limit int) string {
+	if limit > 0 && limit < len(entries) {
+		entries = entries[:limit]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-6s %-16s %-4s %-3s %12s %14s %s\n",
+		"PID", "TGID", "NAME", "UID", "THR", "RSX", "RSX/MIN", "FLAGS")
+	for _, e := range entries {
+		flags := ""
+		if e.Exempt {
+			flags += "exempt"
+		}
+		fmt.Fprintf(&b, "%-6d %-6d %-16s %-4d %-3d %12d %14.3e %s\n",
+			e.Pid, e.Tgid, e.Name, e.UID, e.Threads, e.RSXTotal, e.RatePerMin, flags)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"darkarts/internal/cpu"
+)
+
+func TestTopRSXOrdersAndAggregates(t *testing.T) {
+	k := newTestKernel(t)
+	quiet := k.Spawn("quiet", 1000, &rsxRateWorkload{perMin: 1e6})
+	loud := k.Spawn("loud", 1001, &rsxRateWorkload{perMin: 4e9})
+	k.CloneThread(loud, &rsxRateWorkload{perMin: 4e9})
+	k.Run(3 * time.Second)
+
+	top := k.TopRSX()
+	if len(top) != 2 {
+		t.Fatalf("entries = %d", len(top))
+	}
+	if top[0].Name != "loud" || top[1].Name != "quiet" {
+		t.Errorf("order: %s, %s", top[0].Name, top[1].Name)
+	}
+	if top[0].Threads != 2 {
+		t.Errorf("loud threads = %d", top[0].Threads)
+	}
+	if top[0].RSXTotal <= top[1].RSXTotal {
+		t.Error("ordering inconsistent with totals")
+	}
+	if top[0].RatePerMin <= 0 {
+		t.Error("rate not computed")
+	}
+	_ = quiet
+}
+
+func TestTopRSXSkipsExited(t *testing.T) {
+	k := newTestKernel(t)
+	k.Spawn("oneshot", 1000, &FuncWorkload{F: func(c *cpu.Core, d time.Duration) bool { return true }})
+	k.Spawn("stayer", 1000, &rsxRateWorkload{perMin: 1e6})
+	k.Run(2 * time.Second)
+	top := k.TopRSX()
+	if len(top) != 1 || top[0].Name != "stayer" {
+		t.Errorf("top = %+v", top)
+	}
+}
+
+func TestFormatTop(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn("backup", 1000, &rsxRateWorkload{perMin: 40e9})
+	if err := k.ProcFS().Write("proc/"+itoa(task.Pid)+"/exempt", "1"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(2 * time.Second)
+	out := FormatTop(k.TopRSX(), 10)
+	if !strings.Contains(out, "backup") || !strings.Contains(out, "exempt") {
+		t.Errorf("FormatTop output:\n%s", out)
+	}
+	if !strings.Contains(out, "PID") {
+		t.Error("header missing")
+	}
+	// Limit clamps rows.
+	if lines := strings.Count(FormatTop(k.TopRSX(), 0), "\n"); lines < 2 {
+		t.Errorf("limit 0 produced %d lines", lines)
+	}
+}
+
+func itoa(v int) string {
+	return strconv.Itoa(v)
+}

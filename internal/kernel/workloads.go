@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"time"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/isa"
+	"darkarts/internal/mem"
+)
+
+// ISAWorkload runs a real program on the simulated CPU. The slice's
+// instruction budget is derived from the core frequency and a nominal IPC
+// of 1 (fast mode accounts one cycle per instruction).
+type ISAWorkload struct {
+	ctx    *cpu.ArchContext
+	freqHz uint64
+	// Loop, when true, restarts the program at its entry point whenever it
+	// halts (a daemon-like workload that never finishes on its own).
+	Loop bool
+	// entry state for restarts
+	prog *isa.Program
+	memo *mem.Memory
+	base uint64
+}
+
+// NewISAWorkload prepares prog at base in m and wraps it as a schedulable
+// workload for a machine running at freqHz.
+func NewISAWorkload(prog *isa.Program, m *mem.Memory, base uint64, freqHz uint64) (*ISAWorkload, error) {
+	ctx, err := cpu.NewContext(prog, m, base)
+	if err != nil {
+		return nil, err
+	}
+	return &ISAWorkload{ctx: ctx, freqHz: freqHz, prog: prog, memo: m, base: base}, nil
+}
+
+// Context exposes the architectural context (for result inspection).
+func (w *ISAWorkload) Context() *cpu.ArchContext { return w.ctx }
+
+// RunSlice implements Workload.
+func (w *ISAWorkload) RunSlice(core *cpu.Core, d time.Duration) {
+	budget := uint64(d.Seconds() * float64(w.freqHz))
+	core.LoadContext(w.ctx)
+	for budget > 0 {
+		ran := core.Run(budget)
+		budget -= ran
+		if !w.ctx.Halted {
+			continue
+		}
+		if !w.Loop || w.ctx.Fault != nil {
+			return
+		}
+		// Restart for daemon-style workloads.
+		ctx, err := cpu.NewContext(w.prog, w.memo, w.base)
+		if err != nil {
+			return
+		}
+		w.ctx = ctx
+		core.LoadContext(w.ctx)
+	}
+}
+
+// Done implements Workload.
+func (w *ISAWorkload) Done() bool {
+	return w.ctx.Halted && (!w.Loop || w.ctx.Fault != nil)
+}
+
+// FuncWorkload adapts a function to the Workload interface; used by tests
+// and by simple synthetic tasks. The function receives the core and slice
+// and returns true when the workload has finished.
+type FuncWorkload struct {
+	F        func(core *cpu.Core, d time.Duration) bool
+	finished bool
+}
+
+// RunSlice implements Workload.
+func (w *FuncWorkload) RunSlice(core *cpu.Core, d time.Duration) {
+	if w.finished {
+		return
+	}
+	w.finished = w.F(core, d)
+}
+
+// Done implements Workload.
+func (w *FuncWorkload) Done() bool { return w.finished }

@@ -1,0 +1,134 @@
+// Package mem provides the simulated machine's physical memory and the
+// cache hierarchy configured per the paper's Table I (32KB 8-way L1s, 2MB
+// 16-way L2, 64B blocks, MESI coherence, DDR4-backed).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// pageBits selects a 4KB sparse page size.
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, little-endian flat physical memory. It is shared by
+// all cores of a CPU; coherence timing is modelled separately by Hierarchy.
+//
+// Memory is not safe for concurrent use: the simulator is single-threaded
+// per machine (cores are interleaved deterministically).
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 if the page was never written).
+func (m *Memory) LoadByte(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&(pageSize-1)]
+	}
+	return 0
+}
+
+// StoreByte stores one byte at addr.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes at addr as a little-endian unsigned integer.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	// Fast path: access within a single page.
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size bytes of v at addr, little endian.
+func (m *Memory) Write(addr uint64, v uint64, size int) {
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		m.StoreByte(addr+uint64(i), c)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint64(i))
+	}
+	return out
+}
+
+// Footprint returns the number of bytes of backing storage allocated so far.
+func (m *Memory) Footprint() int64 {
+	return int64(len(m.pages)) * pageSize
+}
+
+// Reset drops all contents.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*[pageSize]byte)
+}
+
+// String summarises the memory for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages, %d bytes}", len(m.pages), m.Footprint())
+}

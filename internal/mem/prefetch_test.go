@@ -1,0 +1,46 @@
+package mem
+
+import "testing"
+
+func TestNextLinePrefetchHidesSequentialFetchMisses(t *testing.T) {
+	run := func(prefetch bool) (total int) {
+		cfg := DefaultHierarchyConfig()
+		cfg.NextLinePrefetch = prefetch
+		h, err := NewHierarchy(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Straight-line fetch through 64 sequential blocks, 4B at a time.
+		for addr := uint64(0); addr < 64*64; addr += 4 {
+			total += h.FetchLatency(0, addr)
+		}
+		return total
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Errorf("prefetching did not help: %d cycles with vs %d without", with, without)
+	}
+}
+
+func TestPrefetchCounterAdvances(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.NextLinePrefetch = true
+	h, _ := NewHierarchy(cfg, 1)
+	h.FetchLatency(0, 0)
+	if h.Prefetches == 0 {
+		t.Error("no prefetches recorded")
+	}
+	// The prefetched next block must now hit.
+	if lat := h.FetchLatency(0, 64); lat != cfg.L1I.LatencyCy {
+		t.Errorf("next-line fetch latency = %d, want L1 hit", lat)
+	}
+}
+
+func TestPrefetchOffByDefault(t *testing.T) {
+	h, _ := NewHierarchy(DefaultHierarchyConfig(), 1)
+	h.FetchLatency(0, 0)
+	if h.Prefetches != 0 {
+		t.Error("prefetcher active despite default-off config")
+	}
+}

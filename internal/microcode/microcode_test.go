@@ -1,0 +1,111 @@
+package microcode
+
+import (
+	"strings"
+	"testing"
+
+	"darkarts/internal/isa"
+)
+
+func TestRSXTagsExactly(t *testing.T) {
+	table := RSX()
+	want := map[isa.Op]bool{
+		isa.ROL: true, isa.ROLI: true, isa.ROR: true, isa.RORI: true,
+		isa.ROL32I: true, isa.ROR32I: true,
+		isa.SHL: true, isa.SHLI: true, isa.SHR: true, isa.SHRI: true,
+		isa.SAR: true, isa.SARI: true,
+		isa.XOR: true, isa.XORI: true,
+	}
+	for _, op := range isa.AllOps() {
+		if got := table.Tagged(op); got != want[op] {
+			t.Errorf("RSX.Tagged(%s) = %v, want %v", op, got, want[op])
+		}
+	}
+}
+
+func TestRSXOSupersetOfRSX(t *testing.T) {
+	rsx, rsxo := RSX(), RSXO()
+	for _, op := range isa.AllOps() {
+		if rsx.Tagged(op) && !rsxo.Tagged(op) {
+			t.Errorf("RSXO missing RSX op %s", op)
+		}
+	}
+	if !rsxo.Tagged(isa.OR) || !rsxo.Tagged(isa.ORI) {
+		t.Error("RSXO does not tag OR/ORI")
+	}
+	if rsx.Tagged(isa.OR) {
+		t.Error("RSX tags OR")
+	}
+}
+
+func TestRotateOnly(t *testing.T) {
+	rot := RotateOnly()
+	if !rot.Tagged(isa.ROL) || !rot.Tagged(isa.RORI) {
+		t.Error("RotateOnly misses rotates")
+	}
+	if rot.Tagged(isa.SHL) || rot.Tagged(isa.XOR) {
+		t.Error("RotateOnly tags non-rotates")
+	}
+}
+
+func TestNilTagTable(t *testing.T) {
+	var table *TagTable
+	if table.Tagged(isa.XOR) {
+		t.Error("nil table tagged XOR")
+	}
+	if table.Name() != "none" {
+		t.Errorf("nil table name = %q", table.Name())
+	}
+	if table.Ops() != nil {
+		t.Error("nil table has ops")
+	}
+}
+
+func TestNewTagTableExtraOps(t *testing.T) {
+	table := NewTagTable("custom", isa.ClassRotate, isa.IMUL, isa.OpInvalid)
+	if !table.Tagged(isa.IMUL) {
+		t.Error("extra op IMUL not tagged")
+	}
+	if table.Tagged(isa.OpInvalid) {
+		t.Error("invalid op tagged")
+	}
+}
+
+func TestTagTableString(t *testing.T) {
+	s := RSX().String()
+	if !strings.HasPrefix(s, "RSX{") || !strings.Contains(s, "XOR") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+type fakeTarget struct{ installed *TagTable }
+
+func (f *fakeTarget) InstallTagTable(t *TagTable) { f.installed = t }
+
+func TestFirmwareUpdateApply(t *testing.T) {
+	var target fakeTarget
+	u := FirmwareUpdate{Version: 2, Table: RSXO()}
+	if err := u.Apply(&target); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if target.installed.Name() != "RSXO" {
+		t.Errorf("installed table = %s", target.installed.Name())
+	}
+}
+
+func TestFirmwareUpdateRejectsEmpty(t *testing.T) {
+	var target fakeTarget
+	if err := (FirmwareUpdate{Version: 1}).Apply(&target); err == nil {
+		t.Error("Apply accepted empty table")
+	}
+	empty := NewTagTable("empty", 0)
+	if err := (FirmwareUpdate{Version: 1, Table: empty}).Apply(&target); err == nil {
+		t.Error("Apply accepted table with no ops")
+	}
+	if err := (FirmwareUpdate{Version: 1, Table: RSX()}).Apply(nil); err == nil {
+		t.Error("Apply accepted nil target")
+	}
+	if target.installed != nil {
+		t.Error("rejected update was installed")
+	}
+}

@@ -1,0 +1,236 @@
+// Package miner implements the cryptocurrency-mining substrate the paper
+// evaluates against: a blockchain with Merkle-tree blocks and proof-of-work
+// validation, CryptoNight-lite (Monero-style: Keccak + AES memory-hard
+// loop) and Equihash-lite (Zcash-style: BLAKE2b generalized-birthday)
+// puzzles, an in-process TCP mining pool, throttled and multi-threaded
+// miner workloads for the OS-layer experiments, an ISA mining program for
+// instruction-signature experiments, and the Table IV profitability model.
+package miner
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"darkarts/internal/cryptoalg"
+)
+
+// Hash is a 32-byte digest.
+type Hash [32]byte
+
+// String renders the first bytes for logs.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:8]) }
+
+// leading64 interprets the first 8 bytes as a big-endian integer; smaller
+// means more leading zeros, i.e. more work.
+func (h Hash) leading64() uint64 { return binary.BigEndian.Uint64(h[:8]) }
+
+// MeetsTarget reports whether the hash satisfies the difficulty target
+// (hash interpreted as a number must be below target).
+func (h Hash) MeetsTarget(target uint64) bool { return h.leading64() < target }
+
+// Tx is a minimal transaction: opaque payload, identified by its hash.
+type Tx struct {
+	Payload []byte
+}
+
+// ID returns the transaction hash (SHA-256, as in Bitcoin-family coins).
+func (t Tx) ID() Hash { return Hash(cryptoalg.SHA256(t.Payload)) }
+
+// MerkleRoot computes the Merkle root of the transactions, duplicating the
+// last node on odd levels (Bitcoin-style). An empty set hashes to the empty
+// digest.
+func MerkleRoot(txs []Tx) Hash {
+	if len(txs) == 0 {
+		return Hash(cryptoalg.SHA256(nil))
+	}
+	level := make([]Hash, len(txs))
+	for i, t := range txs {
+		level[i] = t.ID()
+	}
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		next := make([]Hash, len(level)/2)
+		var buf [64]byte
+		for i := range next {
+			copy(buf[:32], level[2*i][:])
+			copy(buf[32:], level[2*i+1][:])
+			next[i] = Hash(cryptoalg.SHA256(buf[:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleProof returns the sibling path proving tx index i, for SPV-style
+// verification.
+func MerkleProof(txs []Tx, i int) ([]Hash, error) {
+	if i < 0 || i >= len(txs) {
+		return nil, fmt.Errorf("merkle proof: index %d out of range", i)
+	}
+	level := make([]Hash, len(txs))
+	for j, t := range txs {
+		level[j] = t.ID()
+	}
+	var proof []Hash
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		proof = append(proof, level[i^1])
+		next := make([]Hash, len(level)/2)
+		var buf [64]byte
+		for j := range next {
+			copy(buf[:32], level[2*j][:])
+			copy(buf[32:], level[2*j+1][:])
+			next[j] = Hash(cryptoalg.SHA256(buf[:]))
+		}
+		level = next
+		i /= 2
+	}
+	return proof, nil
+}
+
+// VerifyMerkleProof checks a MerkleProof path.
+func VerifyMerkleProof(leaf Hash, index int, proof []Hash, root Hash) bool {
+	h := leaf
+	for _, sib := range proof {
+		var buf [64]byte
+		if index%2 == 0 {
+			copy(buf[:32], h[:])
+			copy(buf[32:], sib[:])
+		} else {
+			copy(buf[:32], sib[:])
+			copy(buf[32:], h[:])
+		}
+		h = Hash(cryptoalg.SHA256(buf[:]))
+		index /= 2
+	}
+	return h == root
+}
+
+// Header is a block header; its serialization is the PoW input.
+type Header struct {
+	Height     uint64
+	Prev       Hash
+	MerkleRoot Hash
+	Time       int64
+	Target     uint64
+	Nonce      uint64
+}
+
+// Marshal serializes the header deterministically.
+func (h Header) Marshal() []byte {
+	buf := make([]byte, 8+32+32+8+8+8)
+	binary.LittleEndian.PutUint64(buf[0:], h.Height)
+	copy(buf[8:], h.Prev[:])
+	copy(buf[40:], h.MerkleRoot[:])
+	binary.LittleEndian.PutUint64(buf[72:], uint64(h.Time))
+	binary.LittleEndian.PutUint64(buf[80:], h.Target)
+	binary.LittleEndian.PutUint64(buf[88:], h.Nonce)
+	return buf
+}
+
+// Block is a header plus its transactions.
+type Block struct {
+	Header Header
+	Txs    []Tx
+}
+
+// PoW is a proof-of-work algorithm: it hashes a serialized header.
+type PoW interface {
+	Name() string
+	HashHeader(header []byte) Hash
+}
+
+// Chain is the blockchain substrate: an append-only validated ledger.
+type Chain struct {
+	pow    PoW
+	blocks []Block
+}
+
+// Chain validation errors.
+var (
+	ErrBadParent = errors.New("block does not extend the chain tip")
+	ErrBadMerkle = errors.New("merkle root does not match transactions")
+	ErrBadPoW    = errors.New("proof of work does not meet target")
+)
+
+// NewChain creates a chain with a genesis block under the given PoW.
+func NewChain(pow PoW, genesisTarget uint64) *Chain {
+	genesis := Block{Header: Header{
+		Height: 0,
+		Target: genesisTarget,
+		Time:   0,
+	}}
+	genesis.Header.MerkleRoot = MerkleRoot(nil)
+	return &Chain{pow: pow, blocks: []Block{genesis}}
+}
+
+// Height returns the tip height.
+func (c *Chain) Height() uint64 { return c.blocks[len(c.blocks)-1].Header.Height }
+
+// Tip returns the latest block.
+func (c *Chain) Tip() Block { return c.blocks[len(c.blocks)-1] }
+
+// TipHash returns the PoW hash of the tip header.
+func (c *Chain) TipHash() Hash { return c.pow.HashHeader(c.Tip().Header.Marshal()) }
+
+// Len returns the number of blocks including genesis.
+func (c *Chain) Len() int { return len(c.blocks) }
+
+// Block returns block i.
+func (c *Chain) Block(i int) Block { return c.blocks[i] }
+
+// NextHeader prepares a mineable header extending the tip.
+func (c *Chain) NextHeader(txs []Tx, now time.Time) Header {
+	return Header{
+		Height:     c.Height() + 1,
+		Prev:       c.TipHash(),
+		MerkleRoot: MerkleRoot(txs),
+		Time:       now.Unix(),
+		Target:     c.Tip().Header.Target, // constant difficulty substrate
+	}
+}
+
+// Append validates and appends a mined block: parent linkage, Merkle
+// consistency, and proof of work.
+func (c *Chain) Append(b Block) error {
+	if b.Header.Prev != c.TipHash() || b.Header.Height != c.Height()+1 {
+		return fmt.Errorf("append height %d: %w", b.Header.Height, ErrBadParent)
+	}
+	if MerkleRoot(b.Txs) != b.Header.MerkleRoot {
+		return fmt.Errorf("append height %d: %w", b.Header.Height, ErrBadMerkle)
+	}
+	h := c.pow.HashHeader(b.Header.Marshal())
+	if !h.MeetsTarget(b.Header.Target) {
+		return fmt.Errorf("append height %d (hash %s): %w", b.Header.Height, h, ErrBadPoW)
+	}
+	c.blocks = append(c.blocks, b)
+	return nil
+}
+
+// Verify re-validates the whole chain from genesis.
+func (c *Chain) Verify() error {
+	for i := 1; i < len(c.blocks); i++ {
+		b := c.blocks[i]
+		prev := c.pow.HashHeader(c.blocks[i-1].Header.Marshal())
+		if b.Header.Prev != prev {
+			return fmt.Errorf("block %d: %w", i, ErrBadParent)
+		}
+		if MerkleRoot(b.Txs) != b.Header.MerkleRoot {
+			return fmt.Errorf("block %d: %w", i, ErrBadMerkle)
+		}
+		if !c.pow.HashHeader(b.Header.Marshal()).MeetsTarget(b.Header.Target) {
+			return fmt.Errorf("block %d: %w", i, ErrBadPoW)
+		}
+	}
+	return nil
+}
+
+// equalHash is a helper for tests.
+func equalHash(a, b Hash) bool { return bytes.Equal(a[:], b[:]) }

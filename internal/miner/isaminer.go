@@ -1,0 +1,218 @@
+package miner
+
+import (
+	"encoding/binary"
+
+	"darkarts/internal/cryptoalg"
+	"darkarts/internal/isa"
+)
+
+// The ISA miner is a self-contained mining program for the simulated
+// processor: per nonce it runs a Keccak-f[1600] sponge over the block
+// header, an AES pass over the state (CryptoNight's structure in
+// miniature), a second permutation, and a target comparison — so the
+// *hardware* sees the genuine instruction signature of mining: sustained
+// XOR/rotate from Keccak plus shift/XOR from AES. Used by the
+// instruction-signature experiments and the cryptojackd demo.
+
+// ISAMinerLayout gives the data-region offsets of the mining program.
+type ISAMinerLayout struct {
+	Msg        int64 // 136B padded rate block holding the 96B header
+	NonceCell  int64 // 8B current nonce (also written into Msg+88)
+	Target     int64 // 8B target (state[0] < target wins)
+	Budget     int64 // 8B remaining nonce attempts
+	Found      int64 // 8B flag: 1 when a winning nonce was found
+	FoundNonce int64 // 8B the winning nonce
+	State      int64 // 200B keccak state
+}
+
+// headerNonceOff is the nonce offset inside a marshalled header.
+const headerNonceOff = 88
+
+// isaMinerAESBlocks is how many 16-byte state blocks the AES phase mixes.
+const isaMinerAESBlocks = 4
+
+// BuildISAMinerProgram assembles the mining loop for the given header
+// template (96 bytes, nonce field ignored), AES key, share target and
+// attempt budget. The program halts with Found=1/FoundNonce set, or
+// Found=0 after the budget is exhausted.
+func BuildISAMinerProgram(header []byte, key []byte, target, startNonce, budget uint64) (*isa.Program, ISAMinerLayout) {
+	b := isa.NewBuilder("isa-miner")
+
+	// ---- data layout (offsets managed manually to reuse kernel emitters) ----
+	var lay ISAMinerLayout
+	data := make([]byte, 0, 8192)
+	alloc := func(n int, init []byte) int64 {
+		for len(data)%8 != 0 {
+			data = append(data, 0)
+		}
+		off := int64(len(data))
+		buf := make([]byte, n)
+		copy(buf, init)
+		data = append(data, buf...)
+		return off
+	}
+	u64 := func(v uint64) []byte {
+		var t [8]byte
+		binary.LittleEndian.PutUint64(t[:], v)
+		return t[:]
+	}
+
+	msg := make([]byte, 136)
+	copy(msg, header[:96])
+	msg[96] = 0x01
+	msg[135] |= 0x80
+	lay.Msg = alloc(136, msg)
+	lay.NonceCell = alloc(8, u64(startNonce))
+	lay.Target = alloc(8, u64(target))
+	lay.Budget = alloc(8, u64(budget))
+	lay.Found = alloc(8, nil)
+	lay.FoundNonce = alloc(8, nil)
+	lay.State = alloc(200, nil)
+	scratch := alloc(200, nil)
+	rcOff := alloc(24*8, keccakRCBytes())
+
+	rk := cryptoalg.AESExpandKey128(key)
+	rkBytes := make([]byte, 44*4)
+	for i, w := range rk {
+		binary.LittleEndian.PutUint32(rkBytes[i*4:], w)
+	}
+	rkOff := alloc(len(rkBytes), rkBytes)
+	te := cryptoalg.TeTables()
+	teBytes := make([]byte, 4*1024)
+	for t := 0; t < 4; t++ {
+		for i, w := range te[t] {
+			binary.LittleEndian.PutUint32(teBytes[t*1024+i*4:], w)
+		}
+	}
+	teOff := alloc(len(teBytes), teBytes)
+	sbox := cryptoalg.SboxTable()
+	sbOff := alloc(256, sbox[:])
+	aesSrc := alloc(isaMinerAESBlocks*16, nil)
+	aesDst := alloc(isaMinerAESBlocks*16, nil)
+
+	// ---- code ----
+	const (
+		tmp  = isa.R0
+		tmp2 = isa.R1
+		zero = isa.R2
+	)
+	// Stable pointers for the keccak subroutine.
+	b.OpI(isa.LEA, isa.R27, isa.R28, lay.State)
+	b.OpI(isa.LEA, isa.R26, isa.R28, scratch)
+	b.OpI(isa.LEA, isa.R24, isa.R28, rcOff)
+	// Stable pointers for the AES subroutine.
+	b.OpI(isa.LEA, isa.R17, isa.R28, rkOff)
+	b.OpI(isa.LEA, isa.R18, isa.R28, teOff)
+	b.OpI(isa.LEA, isa.R19, isa.R28, sbOff)
+
+	b.Label("nonce_loop")
+	// Zero the keccak state.
+	b.Movi(zero, 0)
+	for i := 0; i < 25; i++ {
+		b.St(isa.R27, int64(8*i), zero)
+	}
+	// Patch the nonce into the header inside the message block.
+	b.Ld(tmp, isa.R28, lay.NonceCell)
+	b.St(isa.R28, lay.Msg+headerNonceOff, tmp)
+	// Absorb the single rate block.
+	for i := 0; i < 17; i++ {
+		b.Ld(tmp, isa.R28, lay.Msg+int64(8*i))
+		b.Ld(tmp2, isa.R27, int64(8*i))
+		b.Op3(isa.XOR, tmp2, tmp2, tmp)
+		b.St(isa.R27, int64(8*i), tmp2)
+	}
+	b.Call("keccakf")
+
+	// AES phase: encrypt the first 64 state bytes, xor the result back.
+	for i := 0; i < isaMinerAESBlocks*2; i++ { // 8 lanes = 64 bytes
+		b.Ld(tmp, isa.R27, int64(8*i))
+		b.St(isa.R28, aesSrc+int64(8*i), tmp)
+	}
+	b.OpI(isa.LEA, isa.R20, isa.R28, aesSrc)
+	b.Movi(isa.R21, isaMinerAESBlocks)
+	b.OpI(isa.LEA, isa.R22, isa.R28, aesDst)
+	b.Call("aes_blocks")
+	for i := 0; i < isaMinerAESBlocks*2; i++ {
+		b.Ld(tmp, isa.R28, aesDst+int64(8*i))
+		b.Ld(tmp2, isa.R27, int64(8*i))
+		b.Op3(isa.XOR, tmp2, tmp2, tmp)
+		b.St(isa.R27, int64(8*i), tmp2)
+	}
+	b.Call("keccakf")
+
+	// Target check: state[0] < target?
+	b.Ld(tmp, isa.R27, 0)
+	b.Ld(tmp2, isa.R28, lay.Target)
+	b.Cmp(tmp, tmp2)
+	b.Jcc(isa.JB, "found")
+
+	// Next nonce; loop while budget remains.
+	b.Ld(tmp, isa.R28, lay.NonceCell)
+	b.OpI(isa.ADDI, tmp, tmp, 1)
+	b.St(isa.R28, lay.NonceCell, tmp)
+	b.Ld(tmp, isa.R28, lay.Budget)
+	b.OpI(isa.SUBI, tmp, tmp, 1)
+	b.St(isa.R28, lay.Budget, tmp)
+	b.Cmpi(tmp, 0)
+	b.Jcc(isa.JNE, "nonce_loop")
+	b.Halt() // budget exhausted, Found stays 0
+
+	b.Label("found")
+	b.Movi(tmp, 1)
+	b.St(isa.R28, lay.Found, tmp)
+	b.Ld(tmp, isa.R28, lay.NonceCell)
+	b.St(isa.R28, lay.FoundNonce, tmp)
+	b.Halt()
+
+	cryptoalg.EmitKeccakF(b)
+	cryptoalg.EmitAESEncrypt(b)
+
+	p := b.MustBuild()
+	p.Data = data
+	p.DataSize = int64(len(data))
+	return p, lay
+}
+
+// ISAMinerHash is the native companion of the ISA mining round: it returns
+// the value the program compares against the target for (header, nonce).
+// Bit-exactness against the ISA program is enforced by tests.
+func ISAMinerHash(header, key []byte, nonce uint64) uint64 {
+	msg := make([]byte, 136)
+	copy(msg, header[:96])
+	binary.LittleEndian.PutUint64(msg[headerNonceOff:], nonce)
+	msg[96] = 0x01
+	msg[135] |= 0x80
+
+	var st [25]uint64
+	for i := 0; i < 17; i++ {
+		st[i] ^= binary.LittleEndian.Uint64(msg[i*8:])
+	}
+	cryptoalg.KeccakF1600(&st)
+
+	// AES over the first 64 state bytes, matching the kernel's host-order
+	// word framing.
+	lane := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(lane[i*8:], st[i])
+	}
+	be := cryptoalg.PackAESBlocks(lane)
+	dstBE := make([]byte, 64)
+	cryptoalg.AESEncryptECB(key, dstBE, be)
+	dst := cryptoalg.PackAESBlocks(dstBE)
+	for i := 0; i < 8; i++ {
+		st[i] ^= binary.LittleEndian.Uint64(dst[i*8:])
+	}
+	cryptoalg.KeccakF1600(&st)
+	return st[0]
+}
+
+// keccakRCBytes serializes the Keccak round constants for the data image.
+func keccakRCBytes() []byte {
+	rc := cryptoalg.KeccakRC()
+	out := make([]byte, len(rc)*8)
+	for i, v := range rc {
+		binary.LittleEndian.PutUint64(out[i*8:], v)
+	}
+	return out
+}

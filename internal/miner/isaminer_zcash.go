@@ -1,0 +1,139 @@
+package miner
+
+import (
+	"encoding/binary"
+
+	"darkarts/internal/cryptoalg"
+	"darkarts/internal/isa"
+)
+
+// The Zcash-style ISA miner: per nonce, one BLAKE2b compression of the
+// 96-byte header (Equihash's candidate-generation hash) and a target
+// comparison — giving the hardware Zcash's signature: 64-bit add/xor/rotate
+// streams (Section II-C's BLAKE2 discussion, Table III's Zcash row).
+
+// ZcashISAMinerLayout gives the data offsets of the Zcash mining program.
+type ZcashISAMinerLayout struct {
+	Record     int64 // 144B blake2b record: 128B padded header + t + final
+	NonceCell  int64
+	Target     int64
+	Budget     int64
+	Found      int64
+	FoundNonce int64
+	H          int64 // 8x8B chain state (h[0] compared against target)
+}
+
+// BuildZcashISAMinerProgram assembles the BLAKE2b mining loop. The nonce is
+// patched into the header's nonce field inside the single compression
+// record each iteration; the chain state is re-seeded from the parameter
+// block every nonce.
+func BuildZcashISAMinerProgram(header []byte, target, startNonce, budget uint64) (*isa.Program, ZcashISAMinerLayout) {
+	b := isa.NewBuilder("zec-isa-miner")
+
+	var lay ZcashISAMinerLayout
+	data := make([]byte, 0, 2048)
+	alloc := func(n int, init []byte) int64 {
+		for len(data)%8 != 0 {
+			data = append(data, 0)
+		}
+		off := int64(len(data))
+		buf := make([]byte, n)
+		copy(buf, init)
+		data = append(data, buf...)
+		return off
+	}
+	u64 := func(v uint64) []byte {
+		var t [8]byte
+		binary.LittleEndian.PutUint64(t[:], v)
+		return t[:]
+	}
+
+	// One final-block record for the 96-byte header (fits one block).
+	record := cryptoalg.PackBlake2bRecords(header[:96])
+	lay.Record = alloc(len(record), record)
+	lay.NonceCell = alloc(8, u64(startNonce))
+	lay.Target = alloc(8, u64(target))
+	lay.Budget = alloc(8, u64(budget))
+	lay.Found = alloc(8, nil)
+	lay.FoundNonce = alloc(8, nil)
+
+	// BLAKE2b parameterised initial state (unkeyed, 64-byte digest).
+	iv := cryptoalg.Blake2bIV()
+	h0 := iv
+	h0[0] ^= 0x01010000 ^ 64
+	h0Bytes := make([]byte, 64)
+	ivBytes := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(h0Bytes[i*8:], h0[i])
+		binary.LittleEndian.PutUint64(ivBytes[i*8:], iv[i])
+	}
+	h0Off := alloc(64, h0Bytes)
+	ivOff := alloc(64, ivBytes)
+	lay.H = alloc(64, nil)
+	vOff := alloc(16*8, nil)
+	nrecOff := alloc(8, u64(1))
+
+	const (
+		tmp  = isa.R0
+		tmp2 = isa.R1
+	)
+
+	// Stable subroutine pointers.
+	b.OpI(isa.LEA, isa.R17, isa.R28, lay.H)
+	b.OpI(isa.LEA, isa.R18, isa.R28, ivOff)
+	b.OpI(isa.LEA, isa.R19, isa.R28, vOff)
+
+	b.Label("nonce_loop")
+	// Re-seed the chain state from the parameter block.
+	for i := 0; i < 8; i++ {
+		b.Ld(tmp, isa.R28, h0Off+int64(8*i))
+		b.St(isa.R17, int64(8*i), tmp)
+	}
+	// Patch the nonce into the header's nonce field inside the record.
+	b.Ld(tmp, isa.R28, lay.NonceCell)
+	b.St(isa.R28, lay.Record+headerNonceOff, tmp)
+	// One compression over the single record.
+	b.OpI(isa.LEA, isa.R20, isa.R28, lay.Record)
+	b.Ld(isa.R21, isa.R28, nrecOff)
+	b.Call("blake2b_blocks")
+
+	// Target check on h[0].
+	b.Ld(tmp, isa.R17, 0)
+	b.Ld(tmp2, isa.R28, lay.Target)
+	b.Cmp(tmp, tmp2)
+	b.Jcc(isa.JB, "found")
+
+	b.Ld(tmp, isa.R28, lay.NonceCell)
+	b.OpI(isa.ADDI, tmp, tmp, 1)
+	b.St(isa.R28, lay.NonceCell, tmp)
+	b.Ld(tmp, isa.R28, lay.Budget)
+	b.OpI(isa.SUBI, tmp, tmp, 1)
+	b.St(isa.R28, lay.Budget, tmp)
+	b.Cmpi(tmp, 0)
+	b.Jcc(isa.JNE, "nonce_loop")
+	b.Halt()
+
+	b.Label("found")
+	b.Movi(tmp, 1)
+	b.St(isa.R28, lay.Found, tmp)
+	b.Ld(tmp, isa.R28, lay.NonceCell)
+	b.St(isa.R28, lay.FoundNonce, tmp)
+	b.Halt()
+
+	cryptoalg.EmitBlake2bCompress(b)
+
+	p := b.MustBuild()
+	p.Data = data
+	p.DataSize = int64(len(data))
+	return p, lay
+}
+
+// ZcashISAMinerHash is the native companion: the value the program compares
+// against the target for (header, nonce).
+func ZcashISAMinerHash(header []byte, nonce uint64) uint64 {
+	h := make([]byte, 96)
+	copy(h, header[:96])
+	binary.LittleEndian.PutUint64(h[headerNonceOff:], nonce)
+	digest := cryptoalg.Blake2b512(h)
+	return binary.LittleEndian.Uint64(digest[:8])
+}

@@ -1,0 +1,67 @@
+package miner
+
+import (
+	"testing"
+
+	"darkarts/internal/isa"
+)
+
+func TestZcashISAMinerMatchesCompanion(t *testing.T) {
+	header := minerHeader()
+	var target uint64 = 1 << 60
+	var wantNonce uint64
+	for n := uint64(0); ; n++ {
+		if ZcashISAMinerHash(header, n) < target {
+			wantNonce = n
+			break
+		}
+		if n > 1000 {
+			t.Fatal("no native solution in 1000 nonces")
+		}
+	}
+
+	prog, lay := BuildZcashISAMinerProgram(header, target, 0, wantNonce+8)
+	machine, _ := runISAMiner(t, prog)
+	const base = 0x400_0000
+	mem := machine.Memory()
+	if got := mem.Read(base+uint64(lay.Found), 8); got != 1 {
+		t.Fatal("ISA zcash miner found no solution")
+	}
+	if got := mem.Read(base+uint64(lay.FoundNonce), 8); got != wantNonce {
+		t.Errorf("nonce = %d, companion says %d", got, wantNonce)
+	}
+}
+
+func TestZcashISAMinerBudget(t *testing.T) {
+	prog, lay := BuildZcashISAMinerProgram(minerHeader(), 0, 0, 12)
+	machine, _ := runISAMiner(t, prog)
+	const base = 0x400_0000
+	if got := machine.Memory().Read(base+uint64(lay.Found), 8); got != 0 {
+		t.Error("found an impossible solution")
+	}
+}
+
+func TestZcashISAMinerSignature(t *testing.T) {
+	// BLAKE2b mining: heavy 64-bit rotates and xors, zero 32-bit rotates,
+	// high RSX density — the Zcash column of the paper's story.
+	prog, _ := BuildZcashISAMinerProgram(minerHeader(), 0, 0, 24)
+	machine, _ := runISAMiner(t, prog)
+	bank := machine.Core(0).Counters()
+	rot := bank.ClassCount(isa.ClassRotate)
+	xor := bank.ClassCount(isa.ClassXor)
+	if rot == 0 || xor == 0 {
+		t.Fatalf("rot=%d xor=%d", rot, xor)
+	}
+	frac := float64(bank.RSX()) / float64(bank.Retired())
+	if frac < 0.25 {
+		t.Errorf("zcash miner RSX fraction %.3f too low (blake2b is ~1/3 RSX)", frac)
+	}
+	if bank.OpCount(isa.ROR32I) != 0 {
+		t.Error("32-bit rotates in a 64-bit blake2b miner")
+	}
+	// Per-nonce cost: 1 compression ~ 2.5k instructions + loop overhead.
+	perNonce := bank.Retired() / 24
+	if perNonce < 1_500 || perNonce > 6_000 {
+		t.Errorf("per-nonce cost = %d instructions", perNonce)
+	}
+}

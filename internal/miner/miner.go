@@ -1,0 +1,191 @@
+package miner
+
+import (
+	"math/rand"
+	"time"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/isa"
+	"darkarts/internal/kernel"
+)
+
+// Coin selects the cryptocurrency being mined, with rates calibrated to
+// the paper's Table III measurements of live-service mining.
+type Coin string
+
+// Supported coins.
+const (
+	Monero Coin = "monero"
+	Zcash  Coin = "zcash"
+)
+
+// CoinRates holds the per-hour instruction-class rates of full-speed
+// mining on the Table I machine (all four cores, Table III, in absolute
+// instructions per hour).
+type CoinRates struct {
+	RotatePerHour float64
+	ShiftPerHour  float64
+	XORPerHour    float64
+	ORPerHour     float64
+	InstrPerHour  float64
+	HashesPerSec  float64 // observed service hash rate (Figure 2: 647 H/s)
+}
+
+// Rates returns the calibrated rates for the coin.
+func Rates(c Coin) CoinRates {
+	const bil = 1e9
+	switch c {
+	case Zcash:
+		return CoinRates{
+			RotatePerHour: 27.9 * bil,
+			ShiftPerHour:  1200 * bil,
+			XORPerHour:    1800 * bil,
+			ORPerHour:     400 * bil,
+			InstrPerHour:  9000 * bil,
+			HashesPerSec:  30, // Sol/s
+		}
+	default: // Monero
+		return CoinRates{
+			RotatePerHour: 83.1 * bil,
+			ShiftPerHour:  10.2 * bil,
+			XORPerHour:    248.3 * bil,
+			ORPerHour:     60 * bil,
+			InstrPerHour:  1800 * bil,
+			HashesPerSec:  647,
+		}
+	}
+}
+
+// RSXPerMinute returns the coin's full-speed RSX rate per minute (Monero:
+// ~5.7B, Section VI-E).
+func RSXPerMinute(c Coin) float64 {
+	r := Rates(c)
+	return (r.RotatePerHour + r.ShiftPerHour + r.XORPerHour) / 60
+}
+
+// Workload is a mining task schedulable by the simulated kernel. It models
+// one mining thread; spawn several with kernel.CloneThread to model
+// multi-threaded mining (they share rates through Threads).
+type Workload struct {
+	Coin Coin
+	// Throttle is the fraction of time the miner idles to evade detection
+	// (0.3 = 30% throttle = 70% of full speed, Section VI-E).
+	Throttle float64
+	// Threads divides the full-speed rate across that many mining threads.
+	Threads int
+	rng     *rand.Rand
+
+	// HashesDone accumulates this thread's hash attempts.
+	HashesDone float64
+}
+
+var _ kernel.Workload = (*Workload)(nil)
+
+// NewWorkload returns one mining thread of a Threads-wide miner.
+func NewWorkload(coin Coin, throttle float64, threads int, seed int64) *Workload {
+	if threads < 1 {
+		threads = 1
+	}
+	if throttle < 0 {
+		throttle = 0
+	}
+	if throttle > 1 {
+		throttle = 1
+	}
+	return &Workload{Coin: coin, Throttle: throttle, Threads: threads, rng: rand.New(rand.NewSource(seed))}
+}
+
+// RunSlice implements kernel.Workload: charge the core's counters with this
+// thread's share of the coin's calibrated instruction stream, scaled by the
+// duty cycle that throttling leaves.
+func (w *Workload) RunSlice(core *cpu.Core, d time.Duration) {
+	duty := 1 - w.Throttle
+	hours := d.Hours() * duty / float64(w.Threads)
+	r := Rates(w.Coin)
+	// Mining is steady: tiny jitter only.
+	noise := 1 + 0.02*w.rng.NormFloat64()
+	if noise < 0 {
+		noise = 0
+	}
+	rot := r.RotatePerHour * hours * noise
+	sh := r.ShiftPerHour * hours * noise
+	xr := r.XORPerHour * hours * noise
+	or := r.ORPerHour * hours * noise
+
+	bank := core.Counters()
+	tags := core.TagTable()
+	var rsx float64
+	if tags.Tagged(isa.ROL) {
+		rsx += rot
+	}
+	if tags.Tagged(isa.SHL) {
+		rsx += sh
+	}
+	if tags.Tagged(isa.XOR) {
+		rsx += xr
+	}
+	if tags.Tagged(isa.OR) {
+		rsx += or
+	}
+	bank.AddRSX(uint64(rsx))
+	bank.AddRetired(uint64(r.InstrPerHour * hours * noise))
+	bank.AddCycles(uint64(r.InstrPerHour * hours * noise))
+	bank.AddOpCount(isa.ROLI, uint64(rot/2))
+	bank.AddOpCount(isa.RORI, uint64(rot-rot/2))
+	bank.AddOpCount(isa.SHLI, uint64(sh/2))
+	bank.AddOpCount(isa.SHRI, uint64(sh-sh/2))
+	bank.AddOpCount(isa.XOR, uint64(xr))
+	bank.AddOpCount(isa.OR, uint64(or))
+
+	w.HashesDone += r.HashesPerSec * d.Seconds() * duty / float64(w.Threads)
+}
+
+// Done implements kernel.Workload: miners run until killed.
+func (w *Workload) Done() bool { return false }
+
+// SliceShare implements kernel.SliceSharer: a throttled miner sleeps for
+// its throttle fraction, freeing the core (that is the whole point of the
+// evasion — keep CPU usage inconspicuous).
+func (w *Workload) SliceShare() float64 { return 1 - w.Throttle }
+
+// SpawnMiner creates a Threads-wide miner process on k: one task plus
+// Threads-1 clones sharing the tgid (the multi-threaded evasion scenario
+// of Section IV-B).
+func SpawnMiner(k *kernel.Kernel, coin Coin, throttle float64, threads int, uid int) []*kernel.Task {
+	if threads < 1 {
+		threads = 1
+	}
+	name := string(coin)
+	main := k.Spawn(name, uid, NewWorkload(coin, throttle, threads, 1))
+	tasks := []*kernel.Task{main}
+	for i := 1; i < threads; i++ {
+		tasks = append(tasks, k.CloneThread(main, NewWorkload(coin, throttle, threads, int64(1+i))))
+	}
+	return tasks
+}
+
+// Profitability (Table IV): estimated Monero income versus CPU utilization
+// at the paper's calibration point (0.142 XMR/hour at 100%).
+const (
+	fullSpeedXMRPerHour = 0.142
+	usdPerXMR           = 230.85
+)
+
+// Profit is one Table IV row.
+type Profit struct {
+	Utilization float64 // 0..1 CPU utilization (1 - throttle)
+	XMRPerHour  float64
+	USDPerHour  float64
+}
+
+// EstimateProfit returns mining income at the given CPU utilization.
+func EstimateProfit(utilization float64) Profit {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	xmr := fullSpeedXMRPerHour * utilization
+	return Profit{Utilization: utilization, XMRPerHour: xmr, USDPerHour: xmr * usdPerXMR}
+}

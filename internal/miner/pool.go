@@ -1,0 +1,307 @@
+package miner
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The pool implements a stratum-flavoured job protocol over TCP with
+// newline-delimited JSON: miners subscribe, receive jobs (header template +
+// share target), and submit nonces; the pool validates shares against the
+// chain's PoW and appends blocks that meet the block target.
+
+// poolMsg is the wire format for both directions.
+type poolMsg struct {
+	Method string `json:"method"`
+	// subscribe
+	Miner string `json:"miner,omitempty"`
+	// job (server->client)
+	JobID       uint64 `json:"jobId,omitempty"`
+	Header      []byte `json:"header,omitempty"`
+	ShareTarget uint64 `json:"shareTarget,omitempty"`
+	// submit (client->server)
+	Nonce uint64 `json:"nonce,omitempty"`
+	// result (server->client)
+	OK     bool   `json:"ok,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Height uint64 `json:"height,omitempty"`
+}
+
+// PoolStats is a snapshot of pool-side accounting.
+type PoolStats struct {
+	SharesAccepted uint64
+	SharesRejected uint64
+	BlocksFound    uint64
+	Miners         int
+}
+
+// Pool is the mining service: it owns a chain and serves jobs over TCP.
+type Pool struct {
+	pow         PoW
+	shareTarget uint64
+
+	mu     sync.Mutex
+	chain  *Chain
+	jobSeq uint64
+	jobs   map[uint64]Header
+	stats  PoolStats
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewPool creates a pool over a fresh chain. shareTarget is the (easier)
+// per-share difficulty; the chain's block target comes from genesis.
+func NewPool(pow PoW, blockTarget, shareTarget uint64) *Pool {
+	return &Pool{
+		pow:         pow,
+		shareTarget: shareTarget,
+		chain:       NewChain(pow, blockTarget),
+		jobs:        make(map[uint64]Header),
+	}
+}
+
+// Chain returns the pool's chain (for inspection; callers must not mutate
+// concurrently with a running listener).
+func (p *Pool) Chain() *Chain { return p.chain }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Serve starts accepting miners on a fresh localhost listener and returns
+// its address. Close shuts it down.
+func (p *Pool) Serve() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("pool listen: %w", err)
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Pool) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		p.stats.Miners++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+func (p *Pool) handle(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+	defer func() {
+		p.mu.Lock()
+		p.stats.Miners--
+		p.mu.Unlock()
+	}()
+
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	for sc.Scan() {
+		var msg poolMsg
+		if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
+			_ = enc.Encode(poolMsg{Method: "result", Error: "bad json"})
+			continue
+		}
+		switch msg.Method {
+		case "subscribe", "getjob":
+			job := p.newJob()
+			_ = enc.Encode(poolMsg{
+				Method:      "job",
+				JobID:       p.lastJobID(),
+				Header:      job.Marshal(),
+				ShareTarget: p.shareTarget,
+			})
+		case "submit":
+			resp := p.acceptShare(msg.JobID, msg.Nonce)
+			_ = enc.Encode(resp)
+		default:
+			_ = enc.Encode(poolMsg{Method: "result", Error: "unknown method " + msg.Method})
+		}
+	}
+}
+
+func (p *Pool) newJob() Header {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	txs := []Tx{{Payload: []byte(fmt.Sprintf("coinbase-%d", p.jobSeq))}}
+	h := p.chain.NextHeader(txs, time.Now())
+	p.jobSeq++
+	p.jobs[p.jobSeq] = h
+	return h
+}
+
+func (p *Pool) lastJobID() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jobSeq
+}
+
+// acceptShare validates a submitted nonce against the job's share target
+// and, when it also meets the block target, appends a block.
+func (p *Pool) acceptShare(jobID, nonce uint64) poolMsg {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.jobs[jobID]
+	if !ok {
+		p.stats.SharesRejected++
+		return poolMsg{Method: "result", Error: "unknown job"}
+	}
+	h.Nonce = nonce
+	hash := p.pow.HashHeader(h.Marshal())
+	if !hash.MeetsTarget(p.shareTarget) {
+		p.stats.SharesRejected++
+		return poolMsg{Method: "result", Error: "low difficulty share"}
+	}
+	p.stats.SharesAccepted++
+	if hash.MeetsTarget(h.Target) && h.Prev == p.chain.TipHash() {
+		txs := []Tx{{Payload: []byte(fmt.Sprintf("coinbase-%d", jobID-1))}}
+		blk := Block{Header: h, Txs: txs}
+		blk.Header.MerkleRoot = MerkleRoot(txs)
+		// The job header already committed to this Merkle root.
+		if err := p.chain.Append(blk); err == nil {
+			p.stats.BlocksFound++
+			return poolMsg{Method: "result", OK: true, Height: p.chain.Height()}
+		}
+	}
+	return poolMsg{Method: "result", OK: true}
+}
+
+// PoolClient is a miner-side connection to a Pool.
+type PoolClient struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Job is a mining assignment received from the pool.
+type Job struct {
+	ID          uint64
+	Header      Header
+	RawHeader   []byte
+	ShareTarget uint64
+}
+
+// DialPool connects to a pool at addr.
+func DialPool(addr string) (*PoolClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dial pool: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	return &PoolClient{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *PoolClient) Close() error { return c.conn.Close() }
+
+// errPoolClosed indicates the pool hung up.
+var errPoolClosed = errors.New("pool connection closed")
+
+func (c *PoolClient) recv() (poolMsg, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return poolMsg{}, err
+		}
+		return poolMsg{}, errPoolClosed
+	}
+	var msg poolMsg
+	if err := json.Unmarshal(c.sc.Bytes(), &msg); err != nil {
+		return poolMsg{}, err
+	}
+	return msg, nil
+}
+
+// GetJob requests a fresh job.
+func (c *PoolClient) GetJob() (Job, error) {
+	if err := c.enc.Encode(poolMsg{Method: "getjob"}); err != nil {
+		return Job{}, err
+	}
+	msg, err := c.recv()
+	if err != nil {
+		return Job{}, err
+	}
+	if msg.Method != "job" {
+		return Job{}, fmt.Errorf("pool: unexpected reply %q (%s)", msg.Method, msg.Error)
+	}
+	h, err := unmarshalHeader(msg.Header)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{ID: msg.JobID, Header: h, RawHeader: msg.Header, ShareTarget: msg.ShareTarget}, nil
+}
+
+// Submit sends a share; it returns whether the pool accepted it.
+func (c *PoolClient) Submit(jobID, nonce uint64) (bool, error) {
+	if err := c.enc.Encode(poolMsg{Method: "submit", JobID: jobID, Nonce: nonce}); err != nil {
+		return false, err
+	}
+	msg, err := c.recv()
+	if err != nil {
+		return false, err
+	}
+	return msg.OK, nil
+}
+
+// unmarshalHeader parses the fixed-layout header serialization.
+func unmarshalHeader(b []byte) (Header, error) {
+	if len(b) != 96 {
+		return Header{}, fmt.Errorf("pool: bad header length %d", len(b))
+	}
+	var h Header
+	h.Height = le64(b[0:])
+	copy(h.Prev[:], b[8:40])
+	copy(h.MerkleRoot[:], b[40:72])
+	h.Time = int64(le64(b[72:]))
+	h.Target = le64(b[80:])
+	h.Nonce = le64(b[88:])
+	return h, nil
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

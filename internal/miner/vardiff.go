@@ -1,0 +1,91 @@
+package miner
+
+import (
+	"sync"
+	"time"
+)
+
+// VarDiff is the pool-side variable-difficulty controller real stratum
+// pools run: it retargets each miner's share difficulty so the pool sees a
+// steady share rate regardless of miner speed. Included because share
+// cadence is what the paper's Figure 2 hash-rate series is derived from on
+// a live service.
+type VarDiff struct {
+	// TargetSharesPerMin is the desired share arrival rate per miner.
+	TargetSharesPerMin float64
+	// Min/Max clamp the share target (larger target = easier).
+	MinTarget, MaxTarget uint64
+
+	mu    sync.Mutex
+	state map[string]*vardiffState
+}
+
+type vardiffState struct {
+	target     uint64
+	lastAdjust time.Time
+	shares     int
+}
+
+// NewVarDiff returns a controller with the given initial share target.
+func NewVarDiff(initial uint64, targetPerMin float64) *VarDiff {
+	return &VarDiff{
+		TargetSharesPerMin: targetPerMin,
+		MinTarget:          initial >> 8,
+		MaxTarget:          ^uint64(0) >> 1,
+		state:              map[string]*vardiffState{},
+	}
+}
+
+// TargetFor returns the current share target for a miner.
+func (v *VarDiff) TargetFor(minerID string, initial uint64, now time.Time) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := v.state[minerID]
+	if st == nil {
+		st = &vardiffState{target: initial, lastAdjust: now}
+		v.state[minerID] = st
+	}
+	return st.target
+}
+
+// RecordShare notes an accepted share and retargets if the observation
+// window (30s) has elapsed. It returns the (possibly updated) target.
+func (v *VarDiff) RecordShare(minerID string, now time.Time) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := v.state[minerID]
+	if st == nil {
+		return 0
+	}
+	st.shares++
+	window := now.Sub(st.lastAdjust)
+	if window < 30*time.Second {
+		return st.target
+	}
+	rate := float64(st.shares) / window.Minutes()
+	switch {
+	case rate > 2*v.TargetSharesPerMin:
+		// Too many shares: harden (halve the target).
+		st.target >>= 1
+		if st.target < v.MinTarget {
+			st.target = v.MinTarget
+		}
+	case rate < v.TargetSharesPerMin/2:
+		// Too few: ease (double the target).
+		if st.target <= v.MaxTarget/2 {
+			st.target <<= 1
+		} else {
+			st.target = v.MaxTarget
+		}
+	}
+	st.shares = 0
+	st.lastAdjust = now
+	return st.target
+}
+
+// MinerCount returns how many miners the controller tracks.
+func (v *VarDiff) MinerCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.state)
+}

@@ -1,0 +1,139 @@
+package miner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVarDiffHardensOnFastMiner(t *testing.T) {
+	v := NewVarDiff(1<<60, 10) // want 10 shares/min
+	now := time.Unix(0, 0)
+	initial := v.TargetFor("fast", 1<<60, now)
+	// ~120 shares/min: way above the 10/min target.
+	var target uint64
+	for i := 1; i <= 62; i++ {
+		target = v.RecordShare("fast", now.Add(time.Duration(i)*500*time.Millisecond))
+	}
+	if target >= initial {
+		t.Errorf("target not hardened: %#x -> %#x", initial, target)
+	}
+}
+
+func TestVarDiffEasesOnSlowMiner(t *testing.T) {
+	v := NewVarDiff(1<<40, 10)
+	now := time.Unix(0, 0)
+	initial := v.TargetFor("slow", 1<<40, now)
+	// 1 share after 5 minutes: far too few.
+	target := v.RecordShare("slow", now.Add(5*time.Minute))
+	if target <= initial {
+		t.Errorf("target not eased: %#x -> %#x", initial, target)
+	}
+}
+
+func TestVarDiffStableAtTargetRate(t *testing.T) {
+	v := NewVarDiff(1<<50, 10)
+	now := time.Unix(0, 0)
+	initial := v.TargetFor("steady", 1<<50, now)
+	// 10 shares over 60s = exactly on target: no change expected.
+	var target uint64
+	for i := 0; i < 10; i++ {
+		target = v.RecordShare("steady", now.Add(time.Duration(6*(i+1))*time.Second))
+	}
+	if target != initial {
+		t.Errorf("target moved at on-target rate: %#x -> %#x", initial, target)
+	}
+}
+
+func TestVarDiffClamps(t *testing.T) {
+	v := NewVarDiff(1<<10, 10)
+	now := time.Unix(0, 0)
+	v.TargetFor("m", 1<<10, now)
+	// Hammer it until it can't harden further.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 100; i++ {
+			v.RecordShare("m", now.Add(time.Duration(round+1)*31*time.Second))
+		}
+	}
+	if got := v.TargetFor("m", 1<<10, now); got < v.MinTarget {
+		t.Errorf("target %#x below MinTarget %#x", got, v.MinTarget)
+	}
+	if v.MinerCount() != 1 {
+		t.Errorf("MinerCount = %d", v.MinerCount())
+	}
+}
+
+func TestVarDiffUnknownMiner(t *testing.T) {
+	v := NewVarDiff(1<<40, 10)
+	if got := v.RecordShare("ghost", time.Now()); got != 0 {
+		t.Errorf("RecordShare for unknown miner = %#x", got)
+	}
+}
+
+func TestPoolManyConcurrentMiners(t *testing.T) {
+	// Distributed-substrate stress: several miner clients hammer one pool
+	// concurrently; accounting must stay consistent and the chain valid.
+	pow := SHA256d{}
+	pool := NewPool(pow, 1<<58, 1<<60)
+	addr, err := pool.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const nMiners = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, nMiners)
+	var accepted [nMiners]int
+	for m := 0; m < nMiners; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			client, err := DialPool(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for round := 0; round < 3; round++ {
+				job, err := client.GetJob()
+				if err != nil {
+					errs <- fmt.Errorf("miner %d: %w", m, err)
+					return
+				}
+				nonce, found := Mine(pow, job.Header, uint64(m)<<32, 1<<15)
+				if !found {
+					continue
+				}
+				ok, err := client.Submit(job.ID, nonce)
+				if err != nil {
+					errs <- fmt.Errorf("miner %d submit: %w", m, err)
+					return
+				}
+				if ok {
+					accepted[m]++
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := pool.Stats()
+	var total int
+	for _, a := range accepted {
+		total += a
+	}
+	if uint64(total) != stats.SharesAccepted {
+		t.Errorf("client-side accepted %d != pool-side %d", total, stats.SharesAccepted)
+	}
+	if stats.SharesAccepted == 0 {
+		t.Error("no shares accepted across 6 miners")
+	}
+	if err := pool.Chain().Verify(); err != nil {
+		t.Errorf("chain invalid after concurrent mining: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace provides the instruction-recording facility the paper's
+// methodology attributes to Intel's Software Development Emulator (SDE):
+// per-opcode execution histograms for workload characterization, and the
+// 527-dimensional feature vectors consumed by the machine-learning models
+// in Section VI-E.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/isa"
+)
+
+// Recorder counts retired instructions by opcode and, optionally, by opcode
+// bigram. Attach it to a core with Core.SetObserver for bounded windows —
+// it is the moral equivalent of re-running the workload under SDE.
+type Recorder struct {
+	unigrams [isa.NumOps]uint64
+	bigrams  map[[2]isa.Op]uint64
+	prev     isa.Op
+	total    uint64
+	withBi   bool
+}
+
+var _ cpu.RetireObserver = (*Recorder)(nil)
+
+// NewRecorder returns a Recorder. withBigrams additionally counts adjacent
+// opcode pairs (needed for the full ML feature space).
+func NewRecorder(withBigrams bool) *Recorder {
+	r := &Recorder{withBi: withBigrams}
+	if withBigrams {
+		r.bigrams = make(map[[2]isa.Op]uint64)
+	}
+	return r
+}
+
+// Retired implements cpu.RetireObserver.
+func (r *Recorder) Retired(_ int, in isa.Inst) {
+	r.unigrams[in.Op]++
+	r.total++
+	if r.withBi {
+		if r.prev != isa.OpInvalid {
+			r.bigrams[[2]isa.Op{r.prev, in.Op}]++
+		}
+		r.prev = in.Op
+	}
+}
+
+// Total returns the number of recorded instructions.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Count returns the count for one opcode.
+func (r *Recorder) Count(op isa.Op) uint64 { return r.unigrams[op] }
+
+// ClassCount sums counts over a class.
+func (r *Recorder) ClassCount(c isa.Class) uint64 {
+	var sum uint64
+	for _, op := range isa.AllOps() {
+		if op.Is(c) {
+			sum += r.unigrams[op]
+		}
+	}
+	return sum
+}
+
+// Histogram returns a copy of the unigram histogram.
+func (r *Recorder) Histogram() [isa.NumOps]uint64 { return r.unigrams }
+
+// Reset clears all counts.
+func (r *Recorder) Reset() {
+	r.unigrams = [isa.NumOps]uint64{}
+	r.total = 0
+	r.prev = isa.OpInvalid
+	if r.withBi {
+		r.bigrams = make(map[[2]isa.Op]uint64)
+	}
+}
+
+// TopOps returns the n most frequent opcodes with counts, descending.
+func (r *Recorder) TopOps(n int) []OpCount {
+	var all []OpCount
+	for _, op := range isa.AllOps() {
+		if c := r.unigrams[op]; c > 0 {
+			all = append(all, OpCount{Op: op, Count: c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Op < all[j].Op
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// OpCount pairs an opcode with its execution count.
+type OpCount struct {
+	Op    isa.Op
+	Count uint64
+}
+
+// String renders "XOR:123".
+func (o OpCount) String() string { return fmt.Sprintf("%s:%d", o.Op, o.Count) }
+
+// FeatureDim is the dimensionality of the ML feature space. The paper's
+// dataset had 527 features (x86 has roughly that many mnemonics); our ISA
+// is smaller, so the space is unigram frequencies plus a fixed enumeration
+// of opcode-bigram frequencies, truncated to exactly 527 dimensions.
+const FeatureDim = 527
+
+// bigramAlphabet is the fixed opcode alphabet whose pairs fill the bigram
+// feature slots, ordered by typical frequency.
+var bigramAlphabet = []isa.Op{
+	isa.MOV, isa.MOVI, isa.LD, isa.ST, isa.LD32, isa.ST32,
+	isa.ADD, isa.ADDI, isa.SUB, isa.SUBI, isa.IMUL, isa.MUL,
+	isa.AND, isa.ANDI, isa.OR, isa.XOR, isa.XORI,
+	isa.SHL, isa.SHLI, isa.SHR, isa.SHRI,
+	isa.ROL, isa.ROLI, isa.ROR, isa.RORI,
+}
+
+// FeatureVector returns the normalized FeatureDim-dimensional vector:
+// unigram frequencies (fraction of total) for every opcode, then bigram
+// frequencies over the fixed alphabet in row-major order, truncated to fit.
+// A zero-instruction recorder yields the zero vector.
+func (r *Recorder) FeatureVector() []float64 {
+	v := make([]float64, FeatureDim)
+	if r.total == 0 {
+		return v
+	}
+	inv := 1 / float64(r.total)
+	i := 0
+	for _, op := range isa.AllOps() {
+		if i >= FeatureDim {
+			break
+		}
+		v[i] = float64(r.unigrams[op]) * inv
+		i++
+	}
+	if r.withBi {
+		for _, a := range bigramAlphabet {
+			for _, b := range bigramAlphabet {
+				if i >= FeatureDim {
+					return v
+				}
+				v[i] = float64(r.bigrams[[2]isa.Op{a, b}]) * inv
+				i++
+			}
+		}
+	}
+	return v
+}
+
+// FeatureNames returns human-readable labels for each feature dimension,
+// aligned with FeatureVector.
+func FeatureNames() []string {
+	names := make([]string, 0, FeatureDim)
+	for _, op := range isa.AllOps() {
+		if len(names) >= FeatureDim {
+			break
+		}
+		names = append(names, op.String())
+	}
+	for _, a := range bigramAlphabet {
+		for _, b := range bigramAlphabet {
+			if len(names) >= FeatureDim {
+				return names
+			}
+			names = append(names, a.String()+">"+b.String())
+		}
+	}
+	for len(names) < FeatureDim {
+		names = append(names, "pad")
+	}
+	return names
+}

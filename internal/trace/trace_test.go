@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"darkarts/internal/isa"
+)
+
+func record(r *Recorder, ops ...isa.Op) {
+	for _, op := range ops {
+		r.Retired(0, isa.Inst{Op: op})
+	}
+}
+
+func TestRecorderUnigrams(t *testing.T) {
+	r := NewRecorder(false)
+	record(r, isa.XOR, isa.XOR, isa.ADD, isa.ROL)
+	if r.Total() != 4 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	if r.Count(isa.XOR) != 2 || r.Count(isa.ADD) != 1 || r.Count(isa.ROL) != 1 {
+		t.Errorf("counts wrong: %v", r.Histogram())
+	}
+	if r.ClassCount(isa.ClassXor) != 2 || r.ClassCount(isa.ClassRotate) != 1 {
+		t.Error("class counts wrong")
+	}
+}
+
+func TestRecorderBigrams(t *testing.T) {
+	r := NewRecorder(true)
+	record(r, isa.MOV, isa.XOR, isa.MOV, isa.XOR)
+	if got := r.bigrams[[2]isa.Op{isa.MOV, isa.XOR}]; got != 2 {
+		t.Errorf("MOV>XOR = %d", got)
+	}
+	if got := r.bigrams[[2]isa.Op{isa.XOR, isa.MOV}]; got != 1 {
+		t.Errorf("XOR>MOV = %d", got)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(true)
+	record(r, isa.ADD, isa.ADD)
+	r.Reset()
+	if r.Total() != 0 || r.Count(isa.ADD) != 0 {
+		t.Error("Reset incomplete")
+	}
+	v := r.FeatureVector()
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("feature vector not zero after reset")
+		}
+	}
+}
+
+func TestFeatureVectorDimAndNormalization(t *testing.T) {
+	r := NewRecorder(true)
+	record(r, isa.XOR, isa.XOR, isa.ADD, isa.ADD, isa.ADD, isa.ROL, isa.ROL, isa.ROL)
+	v := r.FeatureVector()
+	if len(v) != FeatureDim {
+		t.Fatalf("dim = %d", len(v))
+	}
+	// Unigram slots must sum to 1 (every op counted once).
+	var uniSum float64
+	for i := 0; i < len(isa.AllOps()); i++ {
+		uniSum += v[i]
+	}
+	if math.Abs(uniSum-1) > 1e-12 {
+		t.Errorf("unigram sum = %v", uniSum)
+	}
+	for _, x := range v {
+		if x < 0 || x > 1 {
+			t.Fatalf("feature out of range: %v", x)
+		}
+	}
+}
+
+func TestFeatureNamesAligned(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != FeatureDim {
+		t.Fatalf("names dim = %d", len(names))
+	}
+	if names[0] != isa.AllOps()[0].String() {
+		t.Errorf("first name = %q", names[0])
+	}
+	seenPair := false
+	for _, n := range names {
+		if n == "MOV>XOR" {
+			seenPair = true
+		}
+	}
+	if !seenPair {
+		t.Error("bigram names missing")
+	}
+}
+
+func TestTopOps(t *testing.T) {
+	r := NewRecorder(false)
+	record(r, isa.XOR, isa.XOR, isa.XOR, isa.ADD, isa.ADD, isa.ROL)
+	top := r.TopOps(2)
+	if len(top) != 2 || top[0].Op != isa.XOR || top[1].Op != isa.ADD {
+		t.Errorf("TopOps = %v", top)
+	}
+	if top[0].String() != "XOR:3" {
+		t.Errorf("String = %q", top[0].String())
+	}
+}
+
+func TestFeatureVectorBigramsPopulated(t *testing.T) {
+	r := NewRecorder(true)
+	for i := 0; i < 100; i++ {
+		record(r, isa.MOV, isa.XOR)
+	}
+	v := r.FeatureVector()
+	var biSum float64
+	for i := len(isa.AllOps()); i < FeatureDim; i++ {
+		biSum += v[i]
+	}
+	if biSum == 0 {
+		t.Error("bigram features all zero despite bigram recording")
+	}
+}
