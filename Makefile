@@ -1,0 +1,38 @@
+# Verification entry points. `make check` is the tier-1 gate; `make race`
+# exercises the parallel scheduler's concurrency under the race detector.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-json clean
+
+all: check race
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages the parallel quantum execution touches:
+# the scheduler, the core engines, and the counter banks.
+race:
+	$(GO) test -race ./internal/kernel ./internal/cpu ./internal/counters
+
+# Headline throughput benchmarks (engine MIPS + parallel scheduler).
+bench:
+	$(GO) test -run '^$$' -bench 'FastEngineMIPS|DetailedEngineMIPS' -benchtime 20000000x .
+	$(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel
+
+# Regenerate BENCH_baseline.json from the benchmarks above.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'FastEngineMIPS|DetailedEngineMIPS' -benchtime 20000000x . ; \
+	  $(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+
+clean:
+	$(GO) clean ./...

@@ -288,6 +288,7 @@ func BenchmarkFastEngineMIPS(b *testing.B) {
 	b.ResetTimer()
 	machine.Core(0).Run(uint64(b.N))
 	b.SetBytes(isa.InstBytes)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
 func BenchmarkDetailedEngineMIPS(b *testing.B) {
@@ -307,6 +308,7 @@ func BenchmarkDetailedEngineMIPS(b *testing.B) {
 	b.ResetTimer()
 	machine.Core(0).Run(uint64(b.N))
 	b.SetBytes(isa.InstBytes)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
 func BenchmarkKeccakKernelOnSimulatedCPU(b *testing.B) {

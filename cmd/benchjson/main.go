@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// record, so benchmark baselines can be committed and diffed:
+//
+//	go test -run '^$' -bench MIPS . | go run ./cmd/benchjson -o BENCH_baseline.json
+//
+// Standard columns (iterations, ns/op, MB/s, B/op, allocs/op) and custom
+// b.ReportMetric units (e.g. MIPS) are both captured; non-benchmark lines
+// are passed through to stderr so failures stay visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(f *os.File) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses "BenchmarkName-8  100  12345 ns/op  67.8 MIPS ...".
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

@@ -42,6 +42,8 @@ func run(args []string) error {
 	tags := fs.String("tags", "rsx", "decoder tag set: rsx, rsxo, rotate-only")
 	threshold := fs.Uint64("threshold", 0, "override RSX/min threshold (0 = paper default)")
 	period := fs.Duration("period", time.Minute, "monitoring window")
+	parallel := fs.Bool("parallel", true, "execute each quantum on per-core worker goroutines")
+	serial := fs.Bool("serial", false, "force serial quantum execution (overrides -parallel)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +51,7 @@ func run(args []string) error {
 	opts := core.DefaultOptions()
 	opts.TagSet = *tags
 	opts.Kernel.Tunables.Period = *period
+	opts.Kernel.Parallel = *parallel && !*serial
 	sys, err := core.NewDefenseSystem(opts)
 	if err != nil {
 		return err
@@ -60,6 +63,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("machine: %s\n", sys.Machine())
+	fmt.Printf("scheduler: %s quantum execution\n", modeName(sys.Parallel()))
 	fmt.Printf("tunables: threshold %s RSX/min, window %s\n",
 		mustRead(sys, kernel.ProcThreshold), *period)
 
@@ -96,6 +100,13 @@ func run(args []string) error {
 		fmt.Println("miner evaded the threshold detector (try -tags rsxo, a lower -threshold, or the ML pipeline in examples/mlpipeline)")
 	}
 	return nil
+}
+
+func modeName(parallel bool) string {
+	if parallel {
+		return "parallel"
+	}
+	return "serial"
 }
 
 func mustRead(sys *core.DefenseSystem, path string) string {

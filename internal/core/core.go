@@ -36,6 +36,9 @@ type Options struct {
 
 // DefaultOptions returns the paper's deployment: the Table I machine in
 // fast mode with RSX tags, 2.5B/min threshold over one-minute windows.
+// Parallel quantum execution is on by default (Kernel.Parallel); the
+// kernel falls back to serial for detailed mode, single-core machines,
+// or attached retirement observers.
 func DefaultOptions() Options {
 	return Options{
 		CPU:    cpu.DefaultConfig(),
@@ -119,6 +122,11 @@ func (d *DefenseSystem) SpawnProgram(name string, prog *isa.Program, ips uint64,
 	w.Loop = loop
 	return d.kern.Spawn(name, 1000, w), nil
 }
+
+// Parallel reports whether the kernel will execute quanta on per-core
+// worker goroutines (the configured knob minus any serial-fallback
+// condition: single core, detailed mode, attached observer).
+func (d *DefenseSystem) Parallel() bool { return d.kern.ParallelActive() }
 
 // Run advances simulated time.
 func (d *DefenseSystem) Run(dur time.Duration) { d.kern.Run(dur) }

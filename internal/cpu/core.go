@@ -1,9 +1,11 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"darkarts/internal/counters"
 	"darkarts/internal/isa"
@@ -26,6 +28,21 @@ type RetireObserver interface {
 	Retired(core int, in isa.Inst)
 }
 
+// tlbBits sizes the per-core page-translation cache (direct mapped on the
+// low page-index bits). 64 entries cover 256KB of working set — more than
+// any task region's hot pages.
+const tlbBits = 6
+
+const tlbMask = 1<<tlbBits - 1
+
+// memTLB caches stable Memory page pointers so the hot load/store path
+// skips the shared page-table lock and map lookup. Entries stay valid for
+// the lifetime of the Memory (pages are never replaced until Reset).
+type memTLB struct {
+	tag [1 << tlbBits]uint64 // page index + 1; 0 = empty
+	pg  [1 << tlbBits]*[mem.PageSize]byte
+}
+
 // Core is one hardware context of the simulated processor.
 type Core struct {
 	id   int
@@ -34,12 +51,15 @@ type Core struct {
 	hier *mem.Hierarchy
 	bank *counters.Bank
 
-	// tags points at the CPU-wide decoder tag table (microcode-updatable).
-	tags **microcode.TagTable
+	// tags points at the CPU-wide decoder tag table (microcode-updatable,
+	// atomically swapped by firmware updates while cores execute).
+	tags *atomic.Pointer[microcode.TagTable]
 
 	ctx *ArchContext
 
 	observer RetireObserver
+
+	tlb memTLB
 
 	// Detailed-mode timing state (see timing.go).
 	tm timing
@@ -57,6 +77,11 @@ func (c *Core) PipelineStats() PipelineStats { return c.tm.stats }
 
 // SetObserver installs (or clears, with nil) a retirement observer.
 func (c *Core) SetObserver(o RetireObserver) { c.observer = o }
+
+// Observer returns the installed retirement observer (nil if none). The
+// simulated kernel falls back to serial quantum execution while one is
+// attached, since observers need not be safe for concurrent cores.
+func (c *Core) Observer() RetireObserver { return c.observer }
 
 // LoadContext makes ctx the running context. Loading a context models a
 // context switch: in detailed mode the pipeline is drained first.
@@ -78,7 +103,66 @@ func (c *Core) tagTable() *microcode.TagTable {
 	if c.tags == nil {
 		return nil
 	}
-	return *c.tags
+	return c.tags.Load()
+}
+
+// pagePtr translates addr to its backing page through the core-local TLB,
+// falling back to the shared (locked) page table on a miss. Absent pages
+// are not cached so that a pure load of untouched memory stays free.
+func (c *Core) pagePtr(addr uint64, create bool) *[mem.PageSize]byte {
+	idx := addr >> mem.PageBits
+	e := idx & tlbMask
+	if c.tlb.tag[e] == idx+1 {
+		return c.tlb.pg[e]
+	}
+	p := c.mem.PagePtr(addr, create)
+	if p != nil {
+		c.tlb.tag[e] = idx + 1
+		c.tlb.pg[e] = p
+	}
+	return p
+}
+
+// load performs a data read on the hot execution path.
+func (c *Core) load(addr uint64, size int) uint64 {
+	off := addr & (mem.PageSize - 1)
+	if off+uint64(size) <= mem.PageSize {
+		p := c.pagePtr(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		default:
+			return uint64(p[off])
+		}
+	}
+	return c.mem.Read(addr, size) // straddles a page boundary
+}
+
+// store performs a data write on the hot execution path.
+func (c *Core) store(addr uint64, v uint64, size int) {
+	off := addr & (mem.PageSize - 1)
+	if off+uint64(size) <= mem.PageSize {
+		p := c.pagePtr(addr, true)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		default:
+			p[off] = byte(v)
+		}
+		return
+	}
+	c.mem.Write(addr, v, size)
 }
 
 // TagTable exposes the live decoder tag table. Rate-model workloads use it
@@ -100,17 +184,23 @@ func (c *Core) Run(maxInsts uint64) uint64 {
 
 // runFast is the functional engine: exact architectural and counter
 // semantics, no timing. One simulated cycle per instruction is accounted so
-// rate-based consumers still observe monotonic time.
+// rate-based consumers still observe monotonic time. The tag table,
+// instruction slice, and observability switches are hoisted out of the
+// loop, and counter updates are batched to one add per Run call.
 func (c *Core) runFast(maxInsts uint64) uint64 {
 	ctx := c.ctx
-	var n uint64
+	code := ctx.Prog.Code
 	tags := c.tagTable()
+	characterizing := c.bank.Characterizing()
+	observer := c.observer
+	var n, rsx uint64
 	for n < maxInsts {
-		if ctx.PC < 0 || ctx.PC >= len(ctx.Prog.Code) {
+		pc := ctx.PC
+		if uint(pc) >= uint(len(code)) {
 			c.fault(ErrPCOutOfRange)
 			break
 		}
-		in := ctx.Prog.Code[ctx.PC]
+		in := code[pc]
 		if !c.exec(in) {
 			break
 		}
@@ -119,17 +209,20 @@ func (c *Core) runFast(maxInsts uint64) uint64 {
 		// functional model. The decoder tag check + R&C commit check
 		// collapse to a single table lookup here.
 		if tags.Tagged(in.Op) {
-			c.bank.AddRSX(1)
+			rsx++
 		}
-		c.bank.CountOp(in.Op)
-		if c.observer != nil {
-			c.observer.Retired(c.id, in)
+		if characterizing {
+			c.bank.CountOp(in.Op)
+		}
+		if observer != nil {
+			observer.Retired(c.id, in)
 		}
 		if in.Op == isa.HALT {
 			ctx.Halted = true
 			break
 		}
 	}
+	c.bank.AddRSX(rsx)
 	c.bank.AddRetired(n)
 	c.bank.AddCycles(n) // nominal IPC=1 in fast mode
 	return n
@@ -161,26 +254,26 @@ func (c *Core) exec(in isa.Inst) bool {
 		r[in.Rd] = r[in.Rs1] + uint64(in.Imm)
 
 	case isa.LD:
-		r[in.Rd] = c.mem.Read(r[in.Rs1]+uint64(in.Imm), 8)
+		r[in.Rd] = c.load(r[in.Rs1]+uint64(in.Imm), 8)
 	case isa.LD32:
-		r[in.Rd] = c.mem.Read(r[in.Rs1]+uint64(in.Imm), 4)
+		r[in.Rd] = c.load(r[in.Rs1]+uint64(in.Imm), 4)
 	case isa.LD16:
-		r[in.Rd] = c.mem.Read(r[in.Rs1]+uint64(in.Imm), 2)
+		r[in.Rd] = c.load(r[in.Rs1]+uint64(in.Imm), 2)
 	case isa.LD8:
-		r[in.Rd] = c.mem.Read(r[in.Rs1]+uint64(in.Imm), 1)
+		r[in.Rd] = c.load(r[in.Rs1]+uint64(in.Imm), 1)
 	case isa.ST:
-		c.mem.Write(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 8)
+		c.store(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 8)
 	case isa.ST32:
-		c.mem.Write(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 4)
+		c.store(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 4)
 	case isa.ST16:
-		c.mem.Write(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 2)
+		c.store(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 2)
 	case isa.ST8:
-		c.mem.Write(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 1)
+		c.store(r[in.Rs1]+uint64(in.Imm), r[in.Rs2], 1)
 	case isa.PUSH:
 		r[isa.SP] -= 8
-		c.mem.Write(r[isa.SP], r[in.Rs1], 8)
+		c.store(r[isa.SP], r[in.Rs1], 8)
 	case isa.POP:
-		r[in.Rd] = c.mem.Read(r[isa.SP], 8)
+		r[in.Rd] = c.load(r[isa.SP], 8)
 		r[isa.SP] += 8
 
 	case isa.ADD:
@@ -305,10 +398,10 @@ func (c *Core) exec(in isa.Inst) bool {
 		nextPC = int(in.Imm)
 	case isa.CALL:
 		r[isa.SP] -= 8
-		c.mem.Write(r[isa.SP], uint64(nextPC), 8)
+		c.store(r[isa.SP], uint64(nextPC), 8)
 		nextPC = int(in.Imm)
 	case isa.RET:
-		nextPC = int(c.mem.Read(r[isa.SP], 8))
+		nextPC = int(c.load(r[isa.SP], 8))
 		r[isa.SP] += 8
 	case isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE,
 		isa.JB, isa.JBE, isa.JA, isa.JAE:

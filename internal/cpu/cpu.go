@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"darkarts/internal/counters"
 	"darkarts/internal/mem"
@@ -10,13 +11,14 @@ import (
 
 // CPU is the simulated multi-core processor package: cores, shared memory,
 // cache hierarchy, and the microcode-programmable decoder tag table shared
-// by all cores' decode stages.
+// by all cores' decode stages. The table pointer is atomic so firmware
+// updates are safe against cores decoding on other goroutines.
 type CPU struct {
 	cfg   Config
 	mem   *mem.Memory
 	hier  *mem.Hierarchy
 	cores []*Core
-	tags  *microcode.TagTable
+	tags  atomic.Pointer[microcode.TagTable]
 }
 
 var _ microcode.UpdateTarget = (*CPU)(nil)
@@ -36,7 +38,8 @@ func New(cfg Config) (*CPU, error) {
 			return nil, err
 		}
 	}
-	c := &CPU{cfg: cfg, mem: m, hier: hier, tags: microcode.RSX()}
+	c := &CPU{cfg: cfg, mem: m, hier: hier}
+	c.tags.Store(microcode.RSX())
 	for i := 0; i < cfg.Cores; i++ {
 		core := &Core{
 			id:   i,
@@ -70,11 +73,11 @@ func (c *CPU) Cores() int { return len(c.cores) }
 func (c *CPU) Core(i int) *Core { return c.cores[i] }
 
 // TagTable returns the live decoder tag table.
-func (c *CPU) TagTable() *microcode.TagTable { return c.tags }
+func (c *CPU) TagTable() *microcode.TagTable { return c.tags.Load() }
 
 // InstallTagTable atomically replaces the decoder tag table on all cores.
 // This is the commit half of the OS-initiated firmware update flow.
-func (c *CPU) InstallTagTable(t *microcode.TagTable) { c.tags = t }
+func (c *CPU) InstallTagTable(t *microcode.TagTable) { c.tags.Store(t) }
 
 // SecondsToCycles converts wall-clock seconds of simulated time to cycles.
 func (c *CPU) SecondsToCycles(s float64) uint64 {
@@ -84,5 +87,5 @@ func (c *CPU) SecondsToCycles(s float64) uint64 {
 // String summarises the machine.
 func (c *CPU) String() string {
 	return fmt.Sprintf("cpu{%d cores, %.1f GHz, %s mode, tags %s}",
-		c.cfg.Cores, float64(c.cfg.FreqHz)/1e9, c.cfg.Mode, c.tags.Name())
+		c.cfg.Cores, float64(c.cfg.FreqHz)/1e9, c.cfg.Mode, c.tags.Load().Name())
 }

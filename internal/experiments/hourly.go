@@ -56,6 +56,7 @@ func hourRun(name string, tags *microcode.TagTable, scale HourScale, spawn func(
 	// Use a coarse 40ms slice for hour-scale runs: 100x fewer quanta, and
 	// rate models are insensitive to slice length.
 	kcfg.TimeSlice = 40 * time.Millisecond
+	kcfg.Parallel = Parallel
 	k := kernel.New(machine, kcfg)
 	spawn(k)
 	k.Run(time.Duration(float64(time.Hour) * float64(scale)))
@@ -247,7 +248,9 @@ func Figure14() (Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		k := kernel.New(machine, kernel.DefaultConfig())
+		kcfg := kernel.DefaultConfig()
+		kcfg.Parallel = Parallel
+		k := kernel.New(machine, kcfg)
 		spawn(k)
 		var pts []float64
 		task := k.Tasks()[0]

@@ -68,12 +68,13 @@ func (p *ProcFS) List() []string {
 	return paths
 }
 
-// Read returns the current value of a tunable or per-process file.
+// Read returns the current value of a tunable or per-process file. Safe
+// to call while the simulation is running on another goroutine.
 func (p *ProcFS) Read(path string) (string, error) {
 	if pid, file, ok := parseProcPath(path); ok {
 		return p.k.readProcPid(pid, file)
 	}
-	t := p.k.tunables
+	t := p.k.Tunables()
 	switch path {
 	case ProcThreshold:
 		return strconv.FormatUint(t.ThresholdPerMin, 10), nil
@@ -97,6 +98,8 @@ func (p *ProcFS) Write(path, value string) error {
 		return p.k.writeProcPid(pid, file, value)
 	}
 	value = strings.TrimSpace(value)
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
 	switch path {
 	case ProcThreshold:
 		v, err := strconv.ParseUint(value, 10, 64)

@@ -28,6 +28,8 @@ func (k *Kernel) taskByPid(pid int) *Task {
 
 // readProcPid serves proc/<pid>/<file>.
 func (k *Kernel) readProcPid(pid int, file string) (string, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	t := k.taskByPid(pid)
 	if t == nil {
 		return "", fmt.Errorf("procfs: no such process %d", pid)
@@ -48,6 +50,8 @@ func (k *Kernel) readProcPid(pid int, file string) (string, error) {
 
 // writeProcPid serves writes to proc/<pid>/<file>.
 func (k *Kernel) writeProcPid(pid int, file, value string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	t := k.taskByPid(pid)
 	if t == nil {
 		return fmt.Errorf("procfs: no such process %d", pid)

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"darkarts/internal/cpu"
@@ -45,19 +46,41 @@ type Config struct {
 	// housekeeping (counter read, tgid_rsx_t update, window check). It
 	// feeds the performance-overhead experiments; zero means free.
 	SampleCost uint64
+	// Parallel dispatches each core's packed slices to a persistent
+	// per-core worker goroutine and barriers at quantum end, merging the
+	// sampled counter deltas in deterministic core order — results are
+	// bit-identical to serial execution. The kernel silently falls back to
+	// serial when the machine is single-core, runs the detailed engine
+	// (cross-core MESI/L2 state makes interleaving semantically
+	// meaningful), or has a retirement observer attached.
+	Parallel bool
 }
 
-// DefaultConfig returns a kernel configured like the paper's prototype.
+// DefaultConfig returns a kernel configured like the paper's prototype,
+// with parallel quantum execution enabled.
 func DefaultConfig() Config {
 	return Config{
 		TimeSlice:  4 * time.Millisecond,
 		Tunables:   DefaultTunables(),
 		SampleCost: 400,
+		Parallel:   true,
 	}
+}
+
+// placement is one planned time slice: task runs on core this quantum.
+type placement struct {
+	core int
+	task *Task
 }
 
 // Kernel is the simulated operating system: it owns the task list, the
 // ready queue, and the per-context-switch RSX sampling.
+//
+// Run/RunUntilAlert must be driven from one goroutine at a time, but the
+// copy-on-read accessors (Alerts, Tasks, Samples, Now, TopRSX, ProcFS
+// reads) are safe to call concurrently with a running simulation: the
+// scheduler takes mu for the plan→execute→merge span of every quantum and
+// the accessors take the same lock.
 type Kernel struct {
 	machine  *cpu.CPU
 	cfg      Config
@@ -70,12 +93,24 @@ type Kernel struct {
 	now      time.Duration
 	coreLast []uint64 // last RSX counter reading per core
 
-	alerts   []Alert
-	onAlert  func(Alert)
-	procfs   *ProcFS
+	alerts  []Alert
+	onAlert func(Alert)
+	procfs  *ProcFS
 	// samples counts context-switch housekeeping invocations (for the
 	// overhead model).
 	samples uint64
+
+	// mu guards tasks, runq, alerts, samples, now, tunables, and all
+	// TgidRSX window state against the concurrent accessors above.
+	mu sync.Mutex
+
+	// Quantum scratch state, reused to keep the scheduler allocation-free.
+	plan   []placement
+	deltas []uint64 // per-plan-entry RSX deltas measured during execution
+
+	// workers are the per-core execution goroutines (nil when serial).
+	workers  []*coreWorker
+	workerWG sync.WaitGroup
 }
 
 // New returns a kernel managing the given machine.
@@ -100,27 +135,48 @@ func New(machine *cpu.CPU, cfg Config) *Kernel {
 // ProcFS returns the tunables filesystem.
 func (k *Kernel) ProcFS() *ProcFS { return k.procfs }
 
+// Machine returns the managed CPU.
+func (k *Kernel) Machine() *cpu.CPU { return k.machine }
+
 // Tunables returns the live tunable values.
-func (k *Kernel) Tunables() Tunables { return k.tunables }
+func (k *Kernel) Tunables() Tunables {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.tunables
+}
 
 // Now returns the current simulated time.
-func (k *Kernel) Now() time.Duration { return k.now }
+func (k *Kernel) Now() time.Duration {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
 
-// Alerts returns all alerts raised so far (copy).
+// Alerts returns all alerts raised so far (copy). Safe to call while the
+// simulation is running on another goroutine.
 func (k *Kernel) Alerts() []Alert {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	out := make([]Alert, len(k.alerts))
 	copy(out, k.alerts)
 	return out
 }
 
-// OnAlert registers a callback invoked synchronously for each alert.
+// OnAlert registers a callback invoked synchronously for each alert, in
+// alert order, after the quantum that raised it completes.
 func (k *Kernel) OnAlert(fn func(Alert)) { k.onAlert = fn }
 
 // Samples returns how many context-switch housekeeping operations ran.
-func (k *Kernel) Samples() uint64 { return k.samples }
+func (k *Kernel) Samples() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.samples
+}
 
 // Spawn creates a new process (fresh thread group) running w.
 func (k *Kernel) Spawn(name string, uid int, w Workload) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	k.nextPid++
 	t := doFork(k.nextPid, cloneArgs{name: name, uid: uid, workload: w})
 	t.rsxPtr.windowStart = k.now
@@ -133,6 +189,8 @@ func (k *Kernel) Spawn(name string, uid int, w Workload) *Task {
 // CloneThread creates a light-weight process sharing parent's thread group:
 // the Listing 2 path where rsx_ptr is inherited rather than allocated.
 func (k *Kernel) CloneThread(parent *Task, w Workload) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	k.nextPid++
 	t := doFork(k.nextPid, cloneArgs{
 		parent: parent, sameTgid: true,
@@ -148,6 +206,8 @@ func (k *Kernel) CloneThread(parent *Task, w Workload) *Task {
 // session structure when the session_aggregation tunable is on — defeating
 // miners that split work across fork()ed workers instead of threads.
 func (k *Kernel) SpawnChildProcess(parent *Task, name string, w Workload) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	k.nextPid++
 	t := doFork(k.nextPid, cloneArgs{
 		parent: parent, sameTgid: false,
@@ -159,49 +219,169 @@ func (k *Kernel) SpawnChildProcess(parent *Task, name string, w Workload) *Task 
 	return t
 }
 
-// Tasks returns all tasks ever created (including exited ones).
+// Tasks returns all tasks ever created (including exited ones). Safe to
+// call while the simulation is running on another goroutine.
 func (k *Kernel) Tasks() []*Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	out := make([]*Task, len(k.tasks))
 	copy(out, k.tasks)
 	return out
 }
 
+// ParallelActive reports whether Run will execute quanta on per-core
+// worker goroutines (the Parallel knob is set and no serial-fallback
+// condition applies right now).
+func (k *Kernel) ParallelActive() bool { return k.parallelEligible() }
+
+// parallelEligible checks the serial-fallback conditions. The detailed
+// engine shares MESI and L2 state across cores, so its cross-core
+// interleaving is semantically meaningful and must stay serialized;
+// retirement observers are not required to be safe for concurrent cores.
+func (k *Kernel) parallelEligible() bool {
+	if !k.cfg.Parallel || k.machine.Cores() < 2 {
+		return false
+	}
+	if k.machine.Config().Mode != cpu.ModeFast {
+		return false
+	}
+	for i := 0; i < k.machine.Cores(); i++ {
+		if k.machine.Core(i).Observer() != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// coreWorker executes the planned slices of one core for each quantum.
+type coreWorker struct {
+	k     *Kernel
+	core  int
+	start chan struct{}
+}
+
+func (w *coreWorker) loop() {
+	for range w.start {
+		w.runSlices()
+		w.k.workerWG.Done()
+	}
+}
+
+// runSlices runs every planned slice of this worker's core, in pack
+// order, sampling the core's RSX counter after each slice exactly as the
+// serial scheduler hook does. It touches only per-core state: the core,
+// its counter bank, its coreLast entry, and its deltas slots.
+func (w *coreWorker) runSlices() {
+	k := w.k
+	core := k.machine.Core(w.core)
+	last := k.coreLast[w.core]
+	for i := range k.plan {
+		p := &k.plan[i]
+		if p.core != w.core {
+			continue
+		}
+		p.task.workload.RunSlice(core, k.cfg.TimeSlice)
+		cur := core.Counters().RSX()
+		k.deltas[i] = cur - last
+		last = cur
+	}
+	k.coreLast[w.core] = last
+}
+
+// startWorkers spins up the per-core workers if the parallel path is
+// eligible, returning a stop function. Workers persist across all quanta
+// of one Run call and are torn down on return so kernels never leak
+// goroutines.
+func (k *Kernel) startWorkers() (stop func()) {
+	if !k.parallelEligible() {
+		return func() {}
+	}
+	n := k.machine.Cores()
+	k.workers = make([]*coreWorker, n)
+	for i := range k.workers {
+		w := &coreWorker{k: k, core: i, start: make(chan struct{}, 1)}
+		k.workers[i] = w
+		go w.loop()
+	}
+	return func() {
+		for _, w := range k.workers {
+			close(w.start)
+		}
+		k.workers = nil
+	}
+}
+
 // Run advances the simulation by d of simulated time, scheduling runnable
 // tasks round-robin across all cores in time-slice quanta.
 func (k *Kernel) Run(d time.Duration) {
+	stop := k.startWorkers()
+	defer stop()
 	end := k.now + d
 	for k.now < end {
-		k.scheduleQuantum()
-		k.now += k.cfg.TimeSlice
+		k.quantum()
 	}
 }
 
 // RunUntilAlert runs until the first alert or until d elapses; it reports
-// whether an alert fired.
+// whether an alert fired. The check sits at the quantum barrier, so the
+// call returns on the exact quantum the alert fires, with the merge phase
+// complete — no alerts are lost or duplicated across the barrier.
 func (k *Kernel) RunUntilAlert(d time.Duration) bool {
+	stop := k.startWorkers()
+	defer stop()
 	end := k.now + d
-	base := len(k.alerts)
+	fired := 0
 	for k.now < end {
-		k.scheduleQuantum()
-		k.now += k.cfg.TimeSlice
-		if len(k.alerts) > base {
+		fired += k.quantum()
+		if fired > 0 {
 			return true
 		}
 	}
-	return len(k.alerts) > base
+	return fired > 0
 }
 
-// scheduleQuantum runs one time slice on every core. Tasks are picked for
-// all cores before any of them run so that a task can occupy at most one
-// core per quantum. A core packs tasks until their slice shares fill the
-// quantum: CPU-bound work claims a whole core, while interactive (mostly
-// I/O-blocked) tasks share one.
-func (k *Kernel) scheduleQuantum() {
-	type placement struct {
-		core int
-		task *Task
+// quantum runs one time slice on every core in three phases:
+//
+//  1. plan: pick tasks for all cores (a task occupies at most one core);
+//  2. execute: run every planned slice and sample per-slice RSX deltas —
+//     either inline (serial) or on the per-core workers (parallel);
+//  3. merge: apply the housekeeping for every slice in plan order.
+//
+// Only phase 2 is concurrent, and it touches exclusively per-core state;
+// the merge applies counter deltas, window checks, alerts, and the
+// ready-queue rebuild in the fixed plan order, so serial and parallel
+// execution produce bit-identical results. It returns the number of
+// alerts this quantum raised.
+func (k *Kernel) quantum() int {
+	k.mu.Lock()
+	k.buildPlan()
+	if k.workers != nil {
+		k.workerWG.Add(len(k.workers))
+		for _, w := range k.workers {
+			w.start <- struct{}{}
+		}
+		k.workerWG.Wait()
+	} else {
+		k.runPlanSerial()
 	}
-	var plan []placement
+	fired := k.merge()
+	k.now += k.cfg.TimeSlice
+	k.mu.Unlock()
+	// Callbacks run outside the lock so they may call the accessors.
+	if k.onAlert != nil {
+		for _, a := range fired {
+			k.onAlert(a)
+		}
+	}
+	return len(fired)
+}
+
+// buildPlan picks tasks for all cores before any of them run so that a
+// task can occupy at most one core per quantum. A core packs tasks until
+// their slice shares fill the quantum: CPU-bound work claims a whole
+// core, while interactive (mostly I/O-blocked) tasks share one.
+func (k *Kernel) buildPlan() {
+	k.plan = k.plan[:0]
 	var pending *Task // task that did not fit the previous core
 
 	for core := 0; core < k.machine.Cores(); core++ {
@@ -222,15 +402,29 @@ func (k *Kernel) scheduleQuantum() {
 				pending = task
 				break
 			}
-			plan = append(plan, placement{core: core, task: task})
+			k.plan = append(k.plan, placement{core: core, task: task})
 			budget -= share
 		}
 	}
 	if pending != nil {
 		k.runq = append([]*Task{pending}, k.runq...)
 	}
-	for _, p := range plan {
-		k.dispatch(p.core, p.task)
+	if cap(k.deltas) < len(k.plan) {
+		k.deltas = make([]uint64, len(k.plan))
+	}
+	k.deltas = k.deltas[:len(k.plan)]
+}
+
+// runPlanSerial is the serial execute phase: every planned slice runs
+// inline, with the same per-slice counter sampling the workers perform.
+func (k *Kernel) runPlanSerial() {
+	for i := range k.plan {
+		p := &k.plan[i]
+		core := k.machine.Core(p.core)
+		p.task.workload.RunSlice(core, k.cfg.TimeSlice)
+		cur := core.Counters().RSX()
+		k.deltas[i] = cur - k.coreLast[p.core]
+		k.coreLast[p.core] = cur
 	}
 }
 
@@ -246,30 +440,30 @@ func (k *Kernel) nextRunnable() *Task {
 	return nil
 }
 
-// dispatch runs task on core for one slice, then performs the paper's
-// context-switch housekeeping (Figure 3, step 3): sample the hardware RSX
-// counter, update the shared tgid structure, and check the threshold.
-func (k *Kernel) dispatch(coreID int, task *Task) {
-	core := k.machine.Core(coreID)
-	task.workload.RunSlice(core, k.cfg.TimeSlice)
-	k.contextSwitch(coreID, task)
-	if task.workload.Done() {
-		task.exit()
-		return
+// merge is the deterministic accounting phase (the paper's Figure 3 step 3
+// housekeeping, decoupled from execution): for every slice in plan order it
+// applies the sampled RSX delta to the shared tgid structure, performs the
+// window check, and rebuilds the ready queue. It returns the alerts raised
+// this quantum for post-unlock callback delivery.
+func (k *Kernel) merge() []Alert {
+	base := len(k.alerts)
+	for i := range k.plan {
+		p := &k.plan[i]
+		k.account(p.task, k.deltas[i])
+		if p.task.workload.Done() {
+			p.task.exit()
+			continue
+		}
+		k.runq = append(k.runq, p.task)
 	}
-	k.runq = append(k.runq, task)
+	return k.alerts[base:len(k.alerts):len(k.alerts)]
 }
 
-// contextSwitch is the scheduler hook. The uid check comes first: "our
-// solution limits its monitoring to non-root processes ... by having the
-// scheduler check for a non-zero uid before performing any additional
-// processing."
-func (k *Kernel) contextSwitch(coreID int, task *Task) {
-	bank := k.machine.Core(coreID).Counters()
-	cur := bank.RSX()
-	delta := cur - k.coreLast[coreID]
-	k.coreLast[coreID] = cur
-
+// account is the scheduler hook minus the counter read (the delta was
+// sampled at execution time). The uid check comes first: "our solution
+// limits its monitoring to non-root processes ... by having the scheduler
+// check for a non-zero uid before performing any additional processing."
+func (k *Kernel) account(task *Task, delta uint64) {
 	if !k.tunables.Enabled {
 		return
 	}
@@ -308,9 +502,6 @@ func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, s
 		}
 		g.alerted = true
 		k.alerts = append(k.alerts, a)
-		if k.onAlert != nil {
-			k.onAlert(a)
-		}
 	}
 	g.windowStart = switchTime
 	g.windowBase = g.rsxCount.Load()
@@ -319,5 +510,7 @@ func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, s
 // SampleOverheadCycles returns the modelled cycle cost of all housekeeping
 // performed so far (samples x per-sample cost).
 func (k *Kernel) SampleOverheadCycles() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	return k.samples * k.cfg.SampleCost
 }

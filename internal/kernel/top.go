@@ -22,8 +22,11 @@ type TopEntry struct {
 }
 
 // TopRSX returns one entry per live thread group, sorted by cumulative RSX
-// descending. Rate is averaged over the task's observed lifetime.
+// descending. Rate is averaged over the task's observed lifetime. Safe to
+// call while the simulation is running on another goroutine.
 func (k *Kernel) TopRSX() []TopEntry {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	seen := map[*TgidRSX]bool{}
 	var out []TopEntry
 	for _, t := range k.tasks {

@@ -6,18 +6,29 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
-// pageBits selects a 4KB sparse page size.
-const pageBits = 12
-const pageSize = 1 << pageBits
+// PageBits selects a 4KB sparse page size.
+const PageBits = 12
 
-// Memory is a sparse, little-endian flat physical memory. It is shared by
-// all cores of a CPU; coherence timing is modelled separately by Hierarchy.
+// PageSize is the backing-page granularity of the sparse memory.
+const PageSize = 1 << PageBits
+
+const pageSize = PageSize
+
+// Memory is a sparse, little-endian flat physical memory shared by all
+// cores of a CPU; coherence timing is modelled separately by Hierarchy.
 //
-// Memory is not safe for concurrent use: the simulator is single-threaded
-// per machine (cores are interleaved deterministically).
+// The page table is safe for concurrent use: pages are created under a
+// lock and their pointers stay stable for the lifetime of the Memory
+// (until Reset), so cores may cache them in per-core TLBs (see
+// internal/cpu). Byte-level access is NOT synchronised — the simulated
+// kernel guarantees a task occupies at most one core per quantum and
+// tasks own disjoint regions, so concurrent cores never touch the same
+// addresses. Reset must not be called while cores are executing.
 type Memory struct {
+	mu    sync.RWMutex
 	pages map[uint64]*[pageSize]byte
 }
 
@@ -27,13 +38,27 @@ func NewMemory() *Memory {
 }
 
 func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
-	idx := addr >> pageBits
+	idx := addr >> PageBits
+	m.mu.RLock()
 	p := m.pages[idx]
-	if p == nil && create {
+	m.mu.RUnlock()
+	if p != nil || !create {
+		return p
+	}
+	m.mu.Lock()
+	if p = m.pages[idx]; p == nil {
 		p = new([pageSize]byte)
 		m.pages[idx] = p
 	}
+	m.mu.Unlock()
 	return p
+}
+
+// PagePtr returns the stable backing page containing addr, allocating it
+// when create is set (nil when absent and !create). Callers may cache the
+// pointer: pages are never replaced until Reset.
+func (m *Memory) PagePtr(addr uint64, create bool) *[PageSize]byte {
+	return m.page(addr, create)
 }
 
 // LoadByte returns the byte at addr (0 if the page was never written).
@@ -102,33 +127,55 @@ func (m *Memory) Write(addr uint64, v uint64, size int) {
 	}
 }
 
-// WriteBytes copies b into memory starting at addr.
+// WriteBytes copies b into memory starting at addr, page chunk at a time.
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
-	for i, c := range b {
-		m.StoreByte(addr+uint64(i), c)
+	for len(b) > 0 {
+		p := m.page(addr, true)
+		n := copy(p[addr&(pageSize-1):], b)
+		addr += uint64(n)
+		b = b[n:]
 	}
 }
 
 // ReadBytes copies n bytes starting at addr into a fresh slice.
 func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.LoadByte(addr + uint64(i))
+	rest := out
+	for len(rest) > 0 {
+		p := m.page(addr, false)
+		off := addr & (pageSize - 1)
+		span := pageSize - int(off)
+		if span > len(rest) {
+			span = len(rest)
+		}
+		if p != nil {
+			copy(rest, p[off:int(off)+span])
+		}
+		addr += uint64(span)
+		rest = rest[span:]
 	}
 	return out
 }
 
 // Footprint returns the number of bytes of backing storage allocated so far.
 func (m *Memory) Footprint() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return int64(len(m.pages)) * pageSize
 }
 
-// Reset drops all contents.
+// Reset drops all contents. It must not run concurrently with execution:
+// cores cache page pointers and would keep writing the orphaned pages.
 func (m *Memory) Reset() {
+	m.mu.Lock()
 	m.pages = make(map[uint64]*[pageSize]byte)
+	m.mu.Unlock()
 }
 
 // String summarises the memory for debugging.
 func (m *Memory) String() string {
-	return fmt.Sprintf("mem{%d pages, %d bytes}", len(m.pages), m.Footprint())
+	m.mu.RLock()
+	n := len(m.pages)
+	m.mu.RUnlock()
+	return fmt.Sprintf("mem{%d pages, %d bytes}", n, int64(n)*pageSize)
 }
