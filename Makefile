@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-json clean
+.PHONY: all check vet build test race bench bench-json docs docscheck clean
 
 all: check race
 
-check: vet build test
+check: vet docscheck build test
 
 vet:
 	$(GO) vet ./...
@@ -18,10 +18,25 @@ build:
 test:
 	$(GO) test ./...
 
+# Documentation gate: vet plus a doc.go package comment for every
+# internal package (the per-package paper tie-ins; see OBSERVABILITY.md
+# and DESIGN.md for the subsystem docs).
+docs: vet docscheck
+
+docscheck:
+	@fail=0; for d in internal/*/; do \
+	  if [ ! -f "$$d/doc.go" ]; then \
+	    echo "docscheck: $$d is missing doc.go"; fail=1; \
+	  elif ! grep -q '^// Package' "$$d/doc.go"; then \
+	    echo "docscheck: $$d/doc.go has no package comment"; fail=1; \
+	  fi; \
+	done; exit $$fail
+
 # Race-detect the packages the parallel quantum execution touches:
-# the scheduler, the core engines, and the counter banks.
+# the scheduler, the core engines, the counter banks, and the metrics
+# registry they all report into.
 race:
-	$(GO) test -race ./internal/kernel ./internal/cpu ./internal/counters
+	$(GO) test -race ./internal/kernel ./internal/cpu ./internal/counters ./internal/obs
 
 # Headline throughput benchmarks (engine MIPS + parallel scheduler).
 bench:

@@ -6,6 +6,12 @@
 // Standard columns (iterations, ns/op, MB/s, B/op, allocs/op) and custom
 // b.ReportMetric units (e.g. MIPS) are both captured; non-benchmark lines
 // are passed through to stderr so failures stay visible.
+//
+// -merge appends records from existing JSON files in the same schema, so
+// an observability snapshot (cryptojackd -metrics-json, or
+// obs.Registry.BenchJSON) can ride along in the committed baseline:
+//
+//	go test -run '^$' -bench . ./... | go run ./cmd/benchjson -merge obs.json -o BENCH_baseline.json
 package main
 
 import (
@@ -28,6 +34,7 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	merge := flag.String("merge", "", "comma-separated JSON files (same schema) whose records are appended")
 	flag.Parse()
 
 	results, err := parse(os.Stdin)
@@ -38,6 +45,14 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *merge != "" {
+		extra, err := mergeFiles(strings.Split(*merge, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		results = append(results, extra...)
 	}
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -53,6 +68,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// mergeFiles loads Result records from each JSON file, in order.
+func mergeFiles(paths []string) ([]Result, error) {
+	var extra []Result
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("merge: %w", err)
+		}
+		var records []Result
+		if err := json.Unmarshal(buf, &records); err != nil {
+			return nil, fmt.Errorf("merge %s: %w", path, err)
+		}
+		extra = append(extra, records...)
+	}
+	return extra, nil
 }
 
 func parse(f *os.File) ([]Result, error) {

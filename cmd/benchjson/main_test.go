@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFastEngineMIPS-8   	       3	 403331325 ns/op	        52.61 MIPS")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkFastEngineMIPS" || r.Iterations != 3 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.NsPerOp != 403331325 || r.Metrics["MIPS"] != 52.61 {
+		t.Errorf("parsed %+v", r)
+	}
+	if _, ok := parseLine("goos: linux"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+}
+
+func TestMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.json")
+	snapshot := `[
+  {
+    "name": "Obs/kernel",
+    "iterations": 1,
+    "metrics": {
+      "sched_quanta_total": 15000
+    }
+  }
+]
+`
+	if err := os.WriteFile(path, []byte(snapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, err := mergeFiles([]string{path, " "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].Name != "Obs/kernel" {
+		t.Fatalf("merged %+v", records)
+	}
+	if records[0].Metrics["sched_quanta_total"] != 15000 {
+		t.Errorf("metrics lost: %+v", records[0].Metrics)
+	}
+	if _, err := mergeFiles([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := mergeFiles([]string{bad}); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

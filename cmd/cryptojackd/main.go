@@ -10,6 +10,11 @@
 //	cryptojackd -coin zcash -threads 2 -throttle 0.3
 //	cryptojackd -clean                # benign-only control run
 //	cryptojackd -tags rsxo -threshold 2000000000
+//	cryptojackd -http :9090           # serve /metrics and /stats while running
+//	cryptojackd -metrics-json obs.json
+//
+// Observability (OBSERVABILITY.md) is on by default; -obs=false disables
+// it entirely.
 package main
 
 import (
@@ -44,17 +49,34 @@ func run(args []string) error {
 	period := fs.Duration("period", time.Minute, "monitoring window")
 	parallel := fs.Bool("parallel", true, "execute each quantum on per-core worker goroutines")
 	serial := fs.Bool("serial", false, "force serial quantum execution (overrides -parallel)")
+	obsOn := fs.Bool("obs", true, "record observability metrics (see OBSERVABILITY.md)")
+	httpAddr := fs.String("http", "", "serve /metrics (Prometheus) and /stats on this address, e.g. :9090")
+	metricsJSON := fs.String("metrics-json", "", "write a benchjson-schema metrics snapshot here at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !*obsOn && (*httpAddr != "" || *metricsJSON != "") {
+		return fmt.Errorf("-http and -metrics-json need metrics; drop -obs=false")
 	}
 
 	opts := core.DefaultOptions()
 	opts.TagSet = *tags
 	opts.Kernel.Tunables.Period = *period
 	opts.Kernel.Parallel = *parallel && !*serial
+	if !*obsOn {
+		opts.Kernel.Obs = nil
+	}
 	sys, err := core.NewDefenseSystem(opts)
 	if err != nil {
 		return err
+	}
+	if *httpAddr != "" {
+		srv, addr, err := serveMetrics(*httpAddr, sys)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (Prometheus), /stats (text)\n", addr)
 	}
 	if *threshold > 0 {
 		if err := sys.ProcFS().Write(kernel.ProcThreshold, strconv.FormatUint(*threshold, 10)); err != nil {
@@ -93,6 +115,16 @@ func run(args []string) error {
 	fmt.Printf("done: %d alert(s)\n", len(alerts))
 	fmt.Println("\nper-process RSX accounting (top 10):")
 	fmt.Print(kernel.FormatTop(sys.Kernel().TopRSX(), 10))
+	if *metricsJSON != "" {
+		buf, err := sys.Obs().BenchJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsJSON, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsJSON)
+	}
 	if *clean && len(alerts) > 0 {
 		return fmt.Errorf("false positives on a clean system")
 	}

@@ -1,17 +1,3 @@
-// Package core assembles the paper's cross-stack cryptojacking defense
-// (Figure 3): the simulated multi-core processor with its
-// microcode-programmable RSX tagging and retirement counter (hardware
-// layer), the scheduler-integrated sampling, tgid aggregation, procfs
-// tunables and alerting (OS layer), plus convenience APIs for loading
-// workloads and miners onto the protected machine.
-//
-// It is the package a downstream user starts from:
-//
-//	sys, _ := core.NewDefenseSystem(core.DefaultOptions())
-//	sys.SpawnApp(someWorkloadProfile)
-//	miner.SpawnMiner(sys.Kernel(), miner.Monero, 0.3, 4, 1000)
-//	sys.Run(2 * time.Minute)
-//	for _, a := range sys.Alerts() { fmt.Println(a) }
 package core
 
 import (
@@ -22,6 +8,7 @@ import (
 	"darkarts/internal/isa"
 	"darkarts/internal/kernel"
 	"darkarts/internal/microcode"
+	"darkarts/internal/obs"
 	"darkarts/internal/workload"
 )
 
@@ -94,6 +81,11 @@ func (d *DefenseSystem) Kernel() *kernel.Kernel { return d.kern }
 
 // ProcFS returns the runtime tunables filesystem.
 func (d *DefenseSystem) ProcFS() *kernel.ProcFS { return d.kern.ProcFS() }
+
+// Obs returns the system's metrics registry (nil when Options.Kernel.Obs
+// was set to nil). cryptojackd serves it over HTTP; the same data renders
+// through the procfs stats file.
+func (d *DefenseSystem) Obs() *obs.Registry { return d.kern.Obs() }
 
 // UpdateMicrocode installs a new decoder tag table through the firmware
 // update path (e.g. switching RSX -> RSXO in the field).

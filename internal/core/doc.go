@@ -1,0 +1,19 @@
+// Package core assembles the paper's cross-stack cryptojacking defense
+// (Figure 3): the simulated multi-core processor with its
+// microcode-programmable RSX tagging and retirement counter (hardware
+// layer), the scheduler-integrated sampling, tgid aggregation, procfs
+// tunables and alerting (OS layer), plus convenience APIs for loading
+// workloads and miners onto the protected machine.
+//
+// It is the package a downstream user starts from:
+//
+//	sys, _ := core.NewDefenseSystem(core.DefaultOptions())
+//	sys.SpawnApp(someWorkloadProfile)
+//	miner.SpawnMiner(sys.Kernel(), miner.Monero, 0.3, 4, 1000)
+//	sys.Run(2 * time.Minute)
+//	for _, a := range sys.Alerts() { fmt.Println(a) }
+//
+// The assembled system carries an observability registry
+// (DefenseSystem.Obs, package obs) whose metrics cover every layer above;
+// OBSERVABILITY.md is the catalog.
+package core

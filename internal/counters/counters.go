@@ -1,9 +1,3 @@
-// Package counters models the per-hardware-context performance counter bank.
-// The paper's design deliberately uses a SINGLE counter for the aggregate
-// count of tagged (RSX) instructions to keep the hardware cheap and to
-// defeat instruction-substitution obfuscation (Section VI-B). A few
-// auxiliary counters exist for characterization experiments only; a real
-// deployment would fuse off everything but the RSX counter.
 package counters
 
 import "darkarts/internal/isa"

@@ -1,0 +1,11 @@
+// Package counters models the per-hardware-context performance counter bank.
+// The paper's design deliberately uses a SINGLE counter for the aggregate
+// count of tagged (RSX) instructions to keep the hardware cheap and to
+// defeat instruction-substitution obfuscation (Section VI-B). A few
+// auxiliary counters exist for characterization experiments only; a real
+// deployment would fuse off everything but the RSX counter.
+//
+// The scheduler (package kernel) reads these banks at every context switch
+// — the Section IV-B sampling path — and exports per-quantum deltas
+// through the observability registry.
+package counters

@@ -38,9 +38,13 @@ const tlbMask = 1<<tlbBits - 1
 // memTLB caches stable Memory page pointers so the hot load/store path
 // skips the shared page-table lock and map lookup. Entries stay valid for
 // the lifetime of the Memory (pages are never replaced until Reset).
+// hits/misses are plain per-core counters (one goroutine per core) read
+// by the kernel's observability layer at quantum merge.
 type memTLB struct {
-	tag [1 << tlbBits]uint64 // page index + 1; 0 = empty
-	pg  [1 << tlbBits]*[mem.PageSize]byte
+	tag    [1 << tlbBits]uint64 // page index + 1; 0 = empty
+	pg     [1 << tlbBits]*[mem.PageSize]byte
+	hits   uint64
+	misses uint64
 }
 
 // Core is one hardware context of the simulated processor.
@@ -74,6 +78,12 @@ func (c *Core) Counters() *counters.Bank { return c.bank }
 // PipelineStats returns the detailed-engine observability counters (zero
 // in fast mode).
 func (c *Core) PipelineStats() PipelineStats { return c.tm.stats }
+
+// TLBStats returns the cumulative page-translation cache hit/miss counts.
+// The counters are written by the core's own execution goroutine; callers
+// must observe the scheduler's quantum barrier (as the kernel's merge
+// phase does) before reading them for another core.
+func (c *Core) TLBStats() (hits, misses uint64) { return c.tlb.hits, c.tlb.misses }
 
 // SetObserver installs (or clears, with nil) a retirement observer.
 func (c *Core) SetObserver(o RetireObserver) { c.observer = o }
@@ -113,8 +123,10 @@ func (c *Core) pagePtr(addr uint64, create bool) *[mem.PageSize]byte {
 	idx := addr >> mem.PageBits
 	e := idx & tlbMask
 	if c.tlb.tag[e] == idx+1 {
+		c.tlb.hits++
 		return c.tlb.pg[e]
 	}
+	c.tlb.misses++
 	p := c.mem.PagePtr(addr, create)
 	if p != nil {
 		c.tlb.tag[e] = idx + 1

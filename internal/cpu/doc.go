@@ -1,0 +1,21 @@
+// Package cpu implements the simulated processor: a multi-core, out-of-order
+// x86-flavoured machine with the paper's cross-stack additions — a decode
+// stage that tags a microcode-programmable instruction set (RSX), an RSX bit
+// carried through the re-order buffer, and retirement logic that bumps a
+// single performance counter when an entry commits with both its R and C
+// bits set (Figure 3, Figure 4; Section IV-A).
+//
+// Two execution modes are provided:
+//
+//   - ModeFast: functional interpretation with full counter semantics. This
+//     is the Intel-SDE-equivalent used for instruction characterization; it
+//     retires tens of millions of instructions per host second.
+//   - ModeDetailed: the functional engine plus an analytic out-of-order
+//     timing model (fetch bandwidth + branch prediction, rename, dataflow
+//     scheduling over execution ports, a structural ROB ring, in-order
+//     retirement). Used for the performance-overhead experiments.
+//
+// Each core keeps plain (non-atomic) TLB hit/miss tallies on its data
+// path (Core.TLBStats); the kernel folds them into the observability
+// registry at quantum merge, keeping the interpreter loop free of atomics.
+package cpu

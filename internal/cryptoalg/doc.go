@@ -1,0 +1,12 @@
+// Package cryptoalg implements, from scratch, the cryptographic primitives
+// that anonymous cryptocurrencies rely on — SHA-256 (SHA-2), Keccak/SHA-3,
+// AES-128, and BLAKE2b — in two forms:
+//
+//  1. Native Go reference implementations, tested against published
+//     vectors, used as oracles and by fast workload code.
+//  2. ISA code generators (kernel_*.go) that emit the same algorithms as
+//     programs for the simulated processor in internal/cpu. Running those
+//     programs is what gives the paper's RSX instruction signatures
+//     (Section VI-A, Figures 12-14); the kernels are verified bit-exact
+//     against the references.
+package cryptoalg

@@ -1,13 +1,3 @@
-// Package cryptoalg implements, from scratch, the cryptographic primitives
-// that anonymous cryptocurrencies rely on — SHA-256 (SHA-2), Keccak/SHA-3,
-// AES-128, and BLAKE2b — in two forms:
-//
-//  1. Native Go reference implementations (this file and siblings), tested
-//     against published vectors, used as oracles and by fast workload code.
-//  2. ISA code generators (kernel_*.go) that emit the same algorithms as
-//     programs for the simulated processor in internal/cpu. Running those
-//     programs is what gives the paper's RSX instruction signatures; the
-//     kernels are verified bit-exact against the references.
 package cryptoalg
 
 import "encoding/binary"

@@ -1,0 +1,57 @@
+package detect
+
+import (
+	"testing"
+
+	"darkarts/internal/obs"
+)
+
+// TestPipelineObsMetrics: a pipeline fitted with a registry attached must
+// record fit and per-prediction metrics; without one, Predict stays on the
+// uninstrumented path and the registry stays empty.
+func TestPipelineObsMetrics(t *testing.T) {
+	x, y := blobs(100, 8, 6, 11)
+	reg := obs.NewRegistry()
+	p := &Pipeline{Components: 4, Model: &SVM{}, Obs: reg}
+	if err := p.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		p.Predict(x[i])
+	}
+
+	if v, ok := reg.Value("ml_fit_total", ""); !ok || v != 1 {
+		t.Errorf("ml_fit_total = %v, %v; want 1", v, ok)
+	}
+	if v, ok := reg.Value("ml_fit_ns_total", ""); !ok || v <= 0 {
+		t.Errorf("ml_fit_ns_total = %v, %v; want > 0", v, ok)
+	}
+	if v, ok := reg.Value("ml_predict_total", ""); !ok || v != n {
+		t.Errorf("ml_predict_total = %v, %v; want %d", v, ok, n)
+	}
+	found := false
+	for _, m := range reg.Snapshot() {
+		if m.Name == "ml_predict_ns" {
+			found = true
+			if m.Layer != obs.LayerDetect {
+				t.Errorf("ml_predict_ns layer = %q", m.Layer)
+			}
+			if m.Value != n {
+				t.Errorf("ml_predict_ns count = %d, want %d", m.Value, n)
+			}
+		}
+	}
+	if !found {
+		t.Error("ml_predict_ns histogram not registered")
+	}
+
+	// No registry: Predict must keep working on the fast path.
+	q := &Pipeline{Components: 4, Model: &SVM{}}
+	if err := q.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Predict(x[0]), p.Predict(x[0]); got != want {
+		t.Errorf("instrumented/uninstrumented pipelines disagree: %d vs %d", got, want)
+	}
+}

@@ -3,6 +3,9 @@ package detect
 import (
 	"fmt"
 	"math/rand"
+	"time"
+
+	"darkarts/internal/obs"
 )
 
 // Pipeline is the paper's full ML detector: standardize, project with PCA
@@ -10,6 +13,10 @@ import (
 type Pipeline struct {
 	Components int // PCA dimensionality (default 11)
 	Model      Model
+	// Obs, when non-nil before Fit, receives the ml_* metrics (fit
+	// count/duration, per-prediction latency); see OBSERVABILITY.md. A
+	// nil Obs keeps Predict on the uninstrumented fast path.
+	Obs *obs.Registry
 
 	scaler *Scaler
 	pca    *PCA
@@ -17,10 +24,24 @@ type Pipeline struct {
 	// components carry wildly different variances, which throws off
 	// margin-based models.
 	post *Scaler
+	m    *mlMetrics
 }
+
+// mlMetrics are the pipeline's pre-resolved observability handles.
+type mlMetrics struct {
+	fits      *obs.Counter
+	fitNs     *obs.Counter
+	predicts  *obs.Counter
+	predictNs *obs.Histogram
+}
+
+// mlPredictBuckets bracket per-prediction host latency (dot products over
+// ~11 components: typically well under a microsecond).
+var mlPredictBuckets = []uint64{100, 1_000, 10_000, 100_000, 1_000_000}
 
 // Fit trains the whole pipeline on labelled feature vectors.
 func (p *Pipeline) Fit(x [][]float64, y []int) error {
+	start := time.Now()
 	if p.Model == nil {
 		return fmt.Errorf("pipeline: nil model")
 	}
@@ -46,12 +67,36 @@ func (p *Pipeline) Fit(x [][]float64, y []int) error {
 	p.pca = pca
 	proj := pca.TransformAll(scaled)
 	p.post = FitScaler(proj)
-	return p.Model.Fit(p.post.TransformAll(proj), y)
+	if err := p.Model.Fit(p.post.TransformAll(proj), y); err != nil {
+		return err
+	}
+	if p.Obs != nil {
+		p.m = &mlMetrics{
+			fits: p.Obs.Counter(obs.Desc{Name: "ml_fit_total", Layer: obs.LayerDetect,
+				Unit: "fits", Help: "ML pipeline trainings completed"}),
+			fitNs: p.Obs.Counter(obs.Desc{Name: "ml_fit_ns_total", Layer: obs.LayerDetect,
+				Unit: "ns", Help: "host time spent fitting the ML pipeline"}),
+			predicts: p.Obs.Counter(obs.Desc{Name: "ml_predict_total", Layer: obs.LayerDetect,
+				Unit: "predictions", Help: "ML pipeline predictions served"}),
+			predictNs: p.Obs.Histogram(obs.Desc{Name: "ml_predict_ns", Layer: obs.LayerDetect,
+				Unit: "ns", Help: "host latency per ML prediction"}, mlPredictBuckets),
+		}
+		p.m.fits.Inc()
+		p.m.fitNs.Add(uint64(time.Since(start)))
+	}
+	return nil
 }
 
 // Predict classifies one raw feature vector.
 func (p *Pipeline) Predict(row []float64) int {
-	return p.Model.Predict(p.post.Transform(p.pca.Transform(p.scaler.Transform(row))))
+	if p.m == nil {
+		return p.Model.Predict(p.post.Transform(p.pca.Transform(p.scaler.Transform(row))))
+	}
+	t0 := time.Now()
+	out := p.Model.Predict(p.post.Transform(p.pca.Transform(p.scaler.Transform(row))))
+	p.m.predicts.Inc()
+	p.m.predictNs.Observe(uint64(time.Since(t0)))
+	return out
 }
 
 // Name returns the underlying model name.

@@ -1,9 +1,3 @@
-// Package detect implements the paper's two detection mechanisms: the
-// RSX-rate threshold classifier (Section VI-C: 2.5e9 RSX instructions per
-// minute, 100% miner detection, <2% false positives), and the supplemental
-// machine-learning pipeline of Section VI-E (PCA from 527 to 11 features,
-// then SVM / logistic regression / decision tree / kNN) that extends
-// detection to aggressively throttled miners.
 package detect
 
 // ThresholdDetector classifies a workload from its RSX rate.

@@ -1,0 +1,13 @@
+// Package evasion implements the attacker-side evasion techniques the
+// paper's defense is designed to withstand (Sections III, VI-B, VI-E):
+//
+//   - code obfuscation: rewriting rotate instructions into the
+//     shift/or sequences of equations 6a/6b, and re-encoding XOR with OR
+//     logic (A xor B = (A and not B) or (not A and B));
+//   - throttled execution (duty-cycle reduction);
+//   - multi-threaded work splitting (via miner.SpawnMiner / kernel clones).
+//
+// The obfuscator is a real program rewriter: it expands instructions in
+// place and remaps every branch target, so obfuscated kernels still compute
+// bit-identical results — which the tests enforce.
+package evasion

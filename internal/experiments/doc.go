@@ -1,0 +1,10 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment returns typed rows plus a
+// renderable Table so the cmd/experiments tool, the benchmark harness, and
+// EXPERIMENTS.md all share one source of truth.
+//
+// Instruction-window experiments execute real programs on the simulated
+// processor and normalize to the paper's per-billion-instruction scale;
+// hour-scale experiments drive the simulated OS with calibrated rate
+// models (see DESIGN.md for the calibrated-vs-emergent split).
+package experiments

@@ -1,0 +1,9 @@
+// Package isa defines the x86-flavoured 64-bit instruction set executed by
+// the simulated processor in internal/cpu.
+//
+// The ISA is a load/store register machine with 32 general purpose 64-bit
+// registers and a small flags word. Opcode mnemonics follow x86 naming (MOV,
+// XOR, SHL, ROR, ...) because the paper's defense keys on x86 opcode classes:
+// rotates, shifts, exclusive-or, and (optionally) or — the "RSX"/"RSXO"
+// instruction sets tracked by the hardware layer (Section IV-A, Table V).
+package isa

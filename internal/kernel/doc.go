@@ -1,0 +1,15 @@
+// Package kernel implements the operating-system half of the paper's
+// cross-stack defense (Section IV-B): tasks and thread groups, the
+// scheduler that samples the hardware RSX counter at every context switch,
+// the tgid_rsx_t structure shared by all threads of a program (Listing 1-2),
+// procfs-style runtime tunables, per-process monitoring windows, and alert
+// delivery.
+//
+// The scheduler executes each quantum either serially or on per-core
+// worker goroutines (Config.Parallel) with a deterministic merge, and —
+// when Config.Obs is non-nil — instruments every phase: quantum counts,
+// execute/merge timings, per-core busy/idle, RSX samples per switch,
+// window statistics, and threshold-crossing-to-callback alert latency.
+// The registry renders through the ProcStats procfs file and everything in
+// OBSERVABILITY.md.
+package kernel

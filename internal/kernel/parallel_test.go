@@ -17,6 +17,7 @@ import (
 	"darkarts/internal/isa"
 	"darkarts/internal/kernel"
 	"darkarts/internal/miner"
+	"darkarts/internal/obs"
 	"darkarts/internal/workload"
 )
 
@@ -319,6 +320,26 @@ func BenchmarkParallelQuantum(b *testing.B) {
 				retired += k.Machine().Core(i).Counters().Retired()
 			}
 			b.ReportMetric(float64(retired)/b.Elapsed().Seconds()/1e6, "MIPS")
+			// Observability read-outs: what fraction of the execute window
+			// the cores spent running slices, and how long the merge barrier
+			// waited per quantum. These are the diagnosis metrics for the
+			// serial-vs-parallel gap; see OBSERVABILITY.md.
+			reg := k.Obs()
+			var busy, idle float64
+			for i := 0; i < k.Machine().Cores(); i++ {
+				v, _ := reg.Value("sched_core_busy_ns_total", obs.CoreLabel(i))
+				busy += v
+				v, _ = reg.Value("sched_core_idle_ns_total", obs.CoreLabel(i))
+				idle += v
+			}
+			if busy+idle > 0 {
+				b.ReportMetric(busy/(busy+idle), "busy_frac")
+			}
+			quanta, _ := reg.Value("sched_quanta_total", "")
+			wait, _ := reg.Value("sched_merge_wait_ns_total", "")
+			if quanta > 0 {
+				b.ReportMetric(wait/quanta/1e3, "merge_wait_us/q")
+			}
 		})
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"darkarts/internal/obs"
 )
 
 // Tunables are the runtime-programmable detection parameters the paper
@@ -59,11 +61,16 @@ const (
 	ProcEnabled     = "sys/rsx/enabled"
 	ProcMonitorRoot = "sys/rsx/monitor_root"
 	ProcSessionAgg  = "sys/rsx/session_aggregation"
+	// ProcStats is the read-only observability view: every registered
+	// metric of the kernel's registry (scheduler phase timings, per-core
+	// busy/idle, TLB and window statistics, alert latency) plus the trace
+	// tail, rendered as aligned text. See OBSERVABILITY.md.
+	ProcStats = "proc/cryptojack/stats"
 )
 
 // List returns all exposed paths, sorted.
 func (p *ProcFS) List() []string {
-	paths := []string{ProcThreshold, ProcPeriod, ProcEnabled, ProcMonitorRoot, ProcSessionAgg}
+	paths := []string{ProcThreshold, ProcPeriod, ProcEnabled, ProcMonitorRoot, ProcSessionAgg, ProcStats}
 	sort.Strings(paths)
 	return paths
 }
@@ -73,6 +80,11 @@ func (p *ProcFS) List() []string {
 func (p *ProcFS) Read(path string) (string, error) {
 	if pid, file, ok := parseProcPath(path); ok {
 		return p.k.readProcPid(pid, file)
+	}
+	if path == ProcStats {
+		// RenderText takes only the registry's own locks, so the stats
+		// file is readable while the simulation runs.
+		return p.k.Obs().RenderText(), nil
 	}
 	t := p.k.Tunables()
 	switch path {
@@ -133,6 +145,11 @@ func (p *ProcFS) Write(path, value string) error {
 		p.k.tunables.SessionAggregation = b
 	default:
 		return fmt.Errorf("procfs: no such file %q", path)
+	}
+	if p.k.om != nil {
+		p.k.om.reg.Tracer().Record(obs.Event{
+			Time: p.k.now, Kind: obs.EvTunableWrite, Note: path + "=" + value,
+		})
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"darkarts/internal/cpu"
+	"darkarts/internal/obs"
 )
 
 // AlertScope identifies which aggregation level tripped the threshold.
@@ -54,6 +55,13 @@ type Config struct {
 	// (cross-core MESI/L2 state makes interleaving semantically
 	// meaningful), or has a retirement observer attached.
 	Parallel bool
+	// Obs is the metrics registry the kernel instruments itself into:
+	// scheduler phase timings, per-core busy/idle split, TLB and
+	// retirement deltas, window statistics, and alert latency (see
+	// OBSERVABILITY.md for the catalogue). nil disables all
+	// instrumentation — every site degrades to a single branch.
+	// DefaultConfig attaches a fresh registry.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a kernel configured like the paper's prototype,
@@ -64,6 +72,7 @@ func DefaultConfig() Config {
 		Tunables:   DefaultTunables(),
 		SampleCost: 400,
 		Parallel:   true,
+		Obs:        obs.NewRegistry(),
 	}
 }
 
@@ -111,6 +120,10 @@ type Kernel struct {
 	// workers are the per-core execution goroutines (nil when serial).
 	workers  []*coreWorker
 	workerWG sync.WaitGroup
+
+	// om holds the pre-resolved observability handles (nil when
+	// Config.Obs is nil; see obs.go).
+	om *kmetrics
 }
 
 // New returns a kernel managing the given machine.
@@ -128,9 +141,17 @@ func New(machine *cpu.CPU, cfg Config) *Kernel {
 		nextPid:  1000,
 		coreLast: make([]uint64, machine.Cores()),
 	}
+	if cfg.Obs != nil {
+		k.om = newKMetrics(cfg.Obs, machine.Cores())
+	}
 	k.procfs = &ProcFS{k: k}
 	return k
 }
+
+// Obs returns the kernel's metrics registry (nil when observability is
+// disabled). The registry's render methods are safe to call while the
+// simulation runs.
+func (k *Kernel) Obs() *obs.Registry { return k.cfg.Obs }
 
 // ProcFS returns the tunables filesystem.
 func (k *Kernel) ProcFS() *ProcFS { return k.procfs }
@@ -183,6 +204,7 @@ func (k *Kernel) Spawn(name string, uid int, w Workload) *Task {
 	t.sessPtr.windowStart = k.now
 	k.tasks = append(k.tasks, t)
 	k.runq = append(k.runq, t)
+	k.traceTask(obs.EvTaskSpawn, t)
 	return t
 }
 
@@ -198,6 +220,7 @@ func (k *Kernel) CloneThread(parent *Task, w Workload) *Task {
 	})
 	k.tasks = append(k.tasks, t)
 	k.runq = append(k.runq, t)
+	k.traceTask(obs.EvTaskSpawn, t)
 	return t
 }
 
@@ -216,6 +239,7 @@ func (k *Kernel) SpawnChildProcess(parent *Task, name string, w Workload) *Task 
 	t.rsxPtr.windowStart = k.now
 	k.tasks = append(k.tasks, t)
 	k.runq = append(k.runq, t)
+	k.traceTask(obs.EvTaskSpawn, t)
 	return t
 }
 
@@ -270,11 +294,16 @@ func (w *coreWorker) loop() {
 // runSlices runs every planned slice of this worker's core, in pack
 // order, sampling the core's RSX counter after each slice exactly as the
 // serial scheduler hook does. It touches only per-core state: the core,
-// its counter bank, its coreLast entry, and its deltas slots.
+// its counter bank, its coreLast entry, its deltas slots, and (when
+// instrumented) its coreBusy scratch slot.
 func (w *coreWorker) runSlices() {
 	k := w.k
 	core := k.machine.Core(w.core)
 	last := k.coreLast[w.core]
+	var t0 time.Time
+	if k.om != nil {
+		t0 = time.Now()
+	}
 	for i := range k.plan {
 		p := &k.plan[i]
 		if p.core != w.core {
@@ -284,6 +313,9 @@ func (w *coreWorker) runSlices() {
 		cur := core.Counters().RSX()
 		k.deltas[i] = cur - last
 		last = cur
+	}
+	if k.om != nil {
+		k.om.coreBusy[w.core] = time.Since(t0)
 	}
 	k.coreLast[w.core] = last
 }
@@ -355,16 +387,36 @@ func (k *Kernel) RunUntilAlert(d time.Duration) bool {
 func (k *Kernel) quantum() int {
 	k.mu.Lock()
 	k.buildPlan()
-	if k.workers != nil {
+	var execStart time.Time
+	if k.om != nil {
+		execStart = time.Now()
+		k.om.beginQuantum()
+	}
+	parallel := k.workers != nil
+	if parallel {
 		k.workerWG.Add(len(k.workers))
 		for _, w := range k.workers {
 			w.start <- struct{}{}
 		}
+		var waitStart time.Time
+		if k.om != nil {
+			waitStart = time.Now()
+		}
 		k.workerWG.Wait()
+		if k.om != nil {
+			k.om.mergeWaitNs.Add(uint64(time.Since(waitStart)))
+		}
 	} else {
 		k.runPlanSerial()
 	}
+	var mergeStart time.Time
+	if k.om != nil {
+		mergeStart = time.Now()
+	}
 	fired := k.merge()
+	if k.om != nil {
+		k.om.observeQuantum(k, parallel, mergeStart.Sub(execStart), time.Since(mergeStart))
+	}
 	k.now += k.cfg.TimeSlice
 	k.mu.Unlock()
 	// Callbacks run outside the lock so they may call the accessors.
@@ -372,6 +424,9 @@ func (k *Kernel) quantum() int {
 		for _, a := range fired {
 			k.onAlert(a)
 		}
+	}
+	if k.om != nil {
+		k.om.observeAlertLatency()
 	}
 	return len(fired)
 }
@@ -421,7 +476,14 @@ func (k *Kernel) runPlanSerial() {
 	for i := range k.plan {
 		p := &k.plan[i]
 		core := k.machine.Core(p.core)
+		var t0 time.Time
+		if k.om != nil {
+			t0 = time.Now()
+		}
 		p.task.workload.RunSlice(core, k.cfg.TimeSlice)
+		if k.om != nil {
+			k.om.coreBusy[p.core] += time.Since(t0)
+		}
 		cur := core.Counters().RSX()
 		k.deltas[i] = cur - k.coreLast[p.core]
 		k.coreLast[p.core] = cur
@@ -452,6 +514,7 @@ func (k *Kernel) merge() []Alert {
 		k.account(p.task, k.deltas[i])
 		if p.task.workload.Done() {
 			p.task.exit()
+			k.traceTask(obs.EvTaskExit, p.task)
 			continue
 		}
 		k.runq = append(k.runq, p.task)
@@ -471,6 +534,10 @@ func (k *Kernel) account(task *Task, delta uint64) {
 		return
 	}
 	k.samples++
+	if k.om != nil {
+		k.om.samples.Inc()
+		k.om.rsxPerSwitch.Observe(delta)
+	}
 
 	switchTime := k.now + k.cfg.TimeSlice
 	task.rsxPtr.add(delta)
@@ -490,7 +557,15 @@ func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, s
 		return
 	}
 	inWindow := g.rsxCount.Load() - g.windowBase
-	if inWindow > k.tunables.thresholdForPeriod() && !g.exempt {
+	over := inWindow > k.tunables.thresholdForPeriod()
+	if k.om != nil {
+		k.om.windows.Inc()
+		k.om.windowRSX.Observe(inWindow)
+		if over && g.exempt {
+			k.om.windowsExempt.Inc()
+		}
+	}
+	if over && !g.exempt {
 		a := Alert{
 			Time:       switchTime,
 			Pid:        task.Pid,
@@ -502,6 +577,18 @@ func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, s
 		}
 		g.alerted = true
 		k.alerts = append(k.alerts, a)
+		if k.om != nil {
+			k.om.windowsOver.Inc()
+			if scope == ScopeSession {
+				k.om.alertsSession.Inc()
+			} else {
+				k.om.alertsProcess.Inc()
+			}
+			k.om.crossTimes = append(k.om.crossTimes, time.Now())
+			k.om.reg.Tracer().Record(obs.Event{
+				Time: switchTime, Kind: obs.EvAlert, Arg: uint64(task.Tgid), Note: task.Name,
+			})
+		}
 	}
 	g.windowStart = switchTime
 	g.windowBase = g.rsxCount.Load()

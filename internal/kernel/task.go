@@ -1,9 +1,3 @@
-// Package kernel implements the operating-system half of the paper's
-// cross-stack defense (Section IV-B): tasks and thread groups, the
-// scheduler that samples the hardware RSX counter at every context switch,
-// the tgid_rsx_t structure shared by all threads of a program (Listing 1-2),
-// procfs-style runtime tunables, per-process monitoring windows, and alert
-// delivery.
 package kernel
 
 import (

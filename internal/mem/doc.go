@@ -1,0 +1,5 @@
+// Package mem provides the simulated machine's physical memory and the
+// cache hierarchy configured per the paper's Table I (32KB 8-way L1s, 2MB
+// 16-way L2, 64B blocks, MESI coherence, DDR4-backed). Pages are allocated
+// on demand; the observability gauge mem_pages tracks the footprint.
+package mem

@@ -1,6 +1,3 @@
-// Package mem provides the simulated machine's physical memory and the
-// cache hierarchy configured per the paper's Table I (32KB 8-way L1s, 2MB
-// 16-way L2, 64B blocks, MESI coherence, DDR4-backed).
 package mem
 
 import (
@@ -155,6 +152,14 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 		rest = rest[span:]
 	}
 	return out
+}
+
+// Pages returns the number of 4KB pages currently mapped (the mem_pages
+// observability gauge samples this at every quantum merge).
+func (m *Memory) Pages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
 }
 
 // Footprint returns the number of bytes of backing storage allocated so far.

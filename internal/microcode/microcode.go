@@ -1,8 +1,3 @@
-// Package microcode models the field-upgradable instruction tag tables the
-// paper's hardware layer exposes (Section IV-A). The decoder consults a
-// TagTable to decide which fetched instructions receive the RSX bit; the OS
-// can install a new table at runtime through a firmware-update style flow,
-// which is how the design "scales to future malware attacks".
 package microcode
 
 import (

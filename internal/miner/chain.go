@@ -1,10 +1,3 @@
-// Package miner implements the cryptocurrency-mining substrate the paper
-// evaluates against: a blockchain with Merkle-tree blocks and proof-of-work
-// validation, CryptoNight-lite (Monero-style: Keccak + AES memory-hard
-// loop) and Equihash-lite (Zcash-style: BLAKE2b generalized-birthday)
-// puzzles, an in-process TCP mining pool, throttled and multi-threaded
-// miner workloads for the OS-layer experiments, an ISA mining program for
-// instruction-signature experiments, and the Table IV profitability model.
 package miner
 
 import (

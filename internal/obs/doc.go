@@ -1,0 +1,25 @@
+// Package obs is the observability layer of the reproduction: a lock-cheap
+// metrics registry (monotonic counters, gauges, and fixed-bucket
+// histograms with atomic fast paths) plus a bounded ring-buffer event
+// tracer. The paper's defense is built out of counters — the RSX
+// performance counter of Section IV-A, the per-tgid aggregation of Section
+// IV-B, and the threshold/window tunables of Section VI-C — and obs gives
+// the reproduction the same property about itself: every hot layer
+// (scheduler, cores, TLBs, detector windows, alert pipeline) exports its
+// runtime behavior continuously and cheaply.
+//
+// Handles are nil-safe: methods on a nil *Registry return nil handles, and
+// every method of a nil handle is a no-op, so instrumented code needs no
+// conditionals — a disabled registry costs one predictable nil check per
+// event. Registration is get-or-create and idempotent; recording is a
+// single atomic add with no allocation, safe for concurrent writers
+// (per-core counters are single-writer in practice, which keeps cache
+// lines unshared).
+//
+// Three export surfaces render the same registry: RenderText (the
+// /proc/cryptojack/stats view served by internal/kernel's procfs),
+// WritePrometheus (the cryptojackd HTTP /metrics endpoint, Prometheus text
+// exposition format, stdlib only), and BenchJSON (records in the
+// cmd/benchjson schema so snapshots land next to BENCH_*.json). See
+// OBSERVABILITY.md at the repository root for the full metric catalogue.
+package obs

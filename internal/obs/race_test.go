@@ -1,0 +1,80 @@
+package obs
+
+// The -race companion for the registry: per-core writer goroutines hammer
+// their own labelled counters plus shared histograms while a reader
+// snapshots and renders concurrently, mirroring how the parallel
+// scheduler's workers and the cryptojackd /metrics endpoint share one
+// registry. Run via `make race` (the obs package is in its package list).
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentWritersAndReader(t *testing.T) {
+	const (
+		cores  = 4
+		perG   = 10_000
+		rounds = 50
+	)
+	r := NewRegistry()
+	shared := r.Histogram(Desc{Name: "latency", Layer: LayerKernel}, []uint64{10, 100, 1000})
+	total := r.Counter(Desc{Name: "total", Layer: LayerKernel})
+	gauge := r.Gauge(Desc{Name: "live", Layer: LayerKernel})
+
+	var wg sync.WaitGroup
+	for core := 0; core < cores; core++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			// Registration from the writer goroutine itself: get-or-create
+			// must be safe against concurrent registration and snapshots.
+			busy := r.Counter(Desc{Name: "busy", Label: CoreLabel(core), Layer: LayerCPU})
+			for i := 0; i < perG; i++ {
+				busy.Add(3)
+				total.Inc()
+				shared.Observe(uint64(i % 2000))
+				gauge.Add(1)
+				gauge.Add(-1)
+				if i%512 == 0 {
+					r.Tracer().Record(Event{Kind: EvTaskSpawn, Arg: uint64(core)})
+				}
+			}
+		}(core)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			for _, m := range r.Snapshot() {
+				if m.Value < 0 {
+					t.Errorf("negative counter in snapshot: %+v", m)
+					return
+				}
+			}
+			_ = r.RenderText()
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = r.Tracer().Events()
+		}
+	}()
+
+	wg.Wait()
+	<-done
+
+	if got := total.Value(); got != cores*perG {
+		t.Errorf("total = %d, want %d (lost updates)", got, cores*perG)
+	}
+	for core := 0; core < cores; core++ {
+		if v, ok := r.Value("busy", CoreLabel(core)); !ok || v != 3*perG {
+			t.Errorf("busy{core=%d} = %v, %v; want %d", core, v, ok, 3*perG)
+		}
+	}
+	if shared.Count() != cores*perG {
+		t.Errorf("histogram count = %d, want %d", shared.Count(), cores*perG)
+	}
+}

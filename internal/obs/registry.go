@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Layer names used by the reproduction's instrumentation. They group the
+// rendered views and become the benchjson record names (Obs/<layer>).
+const (
+	LayerCPU    = "cpu"
+	LayerMem    = "mem"
+	LayerKernel = "kernel"
+	LayerDetect = "detect"
+	LayerDaemon = "daemon"
+)
+
+// Desc describes a metric at registration time. Name is the stable
+// snake_case identifier (documented in OBSERVABILITY.md); Label is an
+// optional single pre-formatted label pair (use Label/CoreLabel); Unit and
+// Layer are rendering metadata; Help is the one-line description.
+type Desc struct {
+	Name  string
+	Label string
+	Help  string
+	Unit  string
+	Layer string
+}
+
+// Label formats a single key/value metric label: Label("core", "2") is
+// `core="2"`.
+func Label(key, value string) string {
+	return fmt.Sprintf("%s=%q", key, value)
+}
+
+// CoreLabel is the conventional label for per-core metrics.
+func CoreLabel(core int) string {
+	return fmt.Sprintf("core=%q", fmt.Sprint(core))
+}
+
+// key is the registry map key: name plus the optional label.
+func (d Desc) key() string {
+	if d.Label == "" {
+		return d.Name
+	}
+	return d.Name + "{" + d.Label + "}"
+}
+
+// Counter is a monotonically increasing uint64. The fast path is one
+// atomic add; all methods are no-ops on a nil receiver.
+type Counter struct {
+	desc Desc
+	v    atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable signed instantaneous value (e.g. live tasks, mapped
+// pages). All methods are no-ops on a nil receiver.
+type Gauge struct {
+	desc Desc
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: bounds are chosen once at
+// registration and never resized or rebalanced, so Observe is a branchless
+// scan plus two atomic adds — no allocation, no locks, and snapshots from
+// concurrent readers are well-defined. Bounds are inclusive upper bounds
+// in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	desc    Desc
+	bounds  []uint64
+	buckets []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry holds the metric set and the event tracer. The zero value is
+// not usable; construct with NewRegistry. A nil *Registry is the "off"
+// state: every method is safe to call and returns nil/zero, so a single
+// Config-level knob disables all instrumentation.
+//
+// Registration (Counter/Gauge/Histogram) takes a mutex and is
+// get-or-create: registering an existing (name, label) returns the
+// existing handle, so independent subsystems can share one registry
+// without coordination. Recording through handles never locks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   *Tracer
+}
+
+// NewRegistry returns an empty registry with a DefaultTraceDepth-deep
+// event tracer attached.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		tracer:   NewTracer(DefaultTraceDepth),
+	}
+}
+
+// Counter returns the counter registered under d, creating it on first
+// use. Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(d Desc) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := d.key()
+	if c, ok := r.counters[k]; ok {
+		return c
+	}
+	c := &Counter{desc: d}
+	r.counters[k] = c
+	return c
+}
+
+// Gauge returns the gauge registered under d, creating it on first use.
+// Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Gauge(d Desc) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := d.key()
+	if g, ok := r.gauges[k]; ok {
+		return g
+	}
+	g := &Gauge{desc: d}
+	r.gauges[k] = g
+	return g
+}
+
+// Histogram returns the histogram registered under d, creating it with the
+// given ascending bucket bounds on first use (later registrations keep the
+// original bounds). Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Histogram(d Desc, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := d.key()
+	if h, ok := r.hists[k]; ok {
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending: %v", k, bounds))
+		}
+	}
+	h := &Histogram{
+		desc:    d,
+		bounds:  append([]uint64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.hists[k] = h
+	return h
+}
+
+// Tracer returns the registry's event tracer (nil, a valid no-op handle,
+// on a nil registry).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Value looks up a counter or gauge by (name, label) and returns its
+// current value as a float64. The second result is false when no such
+// scalar metric exists (histograms are not addressable through Value).
+func (r *Registry) Value(name, label string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	k := Desc{Name: name, Label: label}.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[k]; ok {
+		return float64(c.Value()), true
+	}
+	if g, ok := r.gauges[k]; ok {
+		return float64(g.Value()), true
+	}
+	return 0, false
+}
+
+// Bucket is one histogram bucket in a snapshot. UpperBound is the
+// inclusive upper bound; the last bucket has Inf set instead.
+type Bucket struct {
+	UpperBound uint64 `json:"le"`
+	Inf        bool   `json:"inf,omitempty"`
+	Count      uint64 `json:"count"`
+}
+
+// Metric is one point-in-time reading of a registered metric.
+type Metric struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Type  string `json:"type"` // "counter", "gauge", or "histogram"
+	Unit  string `json:"unit,omitempty"`
+	Layer string `json:"layer,omitempty"`
+	Help  string `json:"help,omitempty"`
+
+	Value int64 `json:"value"` // counter/gauge value; histogram count
+
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a consistent-enough copy of every registered metric,
+// sorted by (layer, name, label) so output is deterministic. Counters are
+// read individually with atomic loads; the snapshot is not a global
+// atomic cut, which is fine for monotonic telemetry.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, c := range r.counters {
+		out = append(out, Metric{
+			Name: c.desc.Name, Label: c.desc.Label, Type: "counter",
+			Unit: c.desc.Unit, Layer: c.desc.Layer, Help: c.desc.Help,
+			Value: int64(c.Value()),
+		})
+	}
+	for _, g := range r.gauges {
+		out = append(out, Metric{
+			Name: g.desc.Name, Label: g.desc.Label, Type: "gauge",
+			Unit: g.desc.Unit, Layer: g.desc.Layer, Help: g.desc.Help,
+			Value: g.Value(),
+		})
+	}
+	for _, h := range r.hists {
+		m := Metric{
+			Name: h.desc.Name, Label: h.desc.Label, Type: "histogram",
+			Unit: h.desc.Unit, Layer: h.desc.Layer, Help: h.desc.Help,
+			Value: int64(h.Count()), Sum: h.Sum(),
+		}
+		var cum uint64
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			b := Bucket{Count: cum}
+			if i < len(h.bounds) {
+				b.UpperBound = h.bounds[i]
+			} else {
+				b.Inf = true
+			}
+			m.Buckets = append(m.Buckets, b)
+		}
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Layer != out[j].Layer {
+			return out[i].Layer < out[j].Layer
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Names returns the sorted set of distinct base metric names (labels
+// collapsed). OBSERVABILITY.md is required to list every one of these.
+func (r *Registry) Names() []string {
+	seen := map[string]bool{}
+	for _, m := range r.Snapshot() {
+		seen[m.Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

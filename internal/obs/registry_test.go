@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(Desc{Name: "c", Layer: LayerKernel, Unit: "events"})
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Get-or-create: same (name, label) returns the same handle.
+	if again := r.Counter(Desc{Name: "c"}); again != c {
+		t.Error("re-registration returned a different handle")
+	}
+	// Different label is a different series.
+	c0 := r.Counter(Desc{Name: "c", Label: CoreLabel(0)})
+	if c0 == c {
+		t.Error("labelled registration aliased the unlabelled counter")
+	}
+	c0.Add(7)
+	if v, ok := r.Value("c", CoreLabel(0)); !ok || v != 7 {
+		t.Errorf("Value(c, core=0) = %v, %v; want 7, true", v, ok)
+	}
+	if v, ok := r.Value("c", ""); !ok || v != 42 {
+		t.Errorf("Value(c) = %v, %v; want 42, true", v, ok)
+	}
+	if _, ok := r.Value("nope", ""); ok {
+		t.Error("Value found an unregistered metric")
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge(Desc{Name: "g"})
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Desc{Name: "h"}, []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := uint64(5 + 10 + 11 + 100 + 5000); h.Sum() != want {
+		t.Errorf("sum = %d, want %d", h.Sum(), want)
+	}
+	var m Metric
+	for _, s := range r.Snapshot() {
+		if s.Name == "h" {
+			m = s
+		}
+	}
+	// Bounds are inclusive and buckets cumulative: le=10 holds {5,10},
+	// le=100 adds {11,100}, le=1000 adds nothing, +Inf adds {5000}.
+	wantCum := []uint64{2, 4, 4, 5}
+	if len(m.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(m.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if m.Buckets[i].Count != want {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, m.Buckets[i].Count, want)
+		}
+	}
+	if !m.Buckets[3].Inf {
+		t.Error("last bucket is not +Inf")
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram(Desc{Name: "bad"}, []uint64{10, 10})
+}
+
+// TestNilSafety: a nil registry and nil handles must be fully inert — the
+// Config.Obs=nil "off" state instruments through exactly these paths.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter(Desc{Name: "c"})
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := r.Gauge(Desc{Name: "g"})
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram(Desc{Name: "h"}, []uint64{1})
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	tr := r.Tracer()
+	tr.Record(Event{Kind: EvAlert})
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Error("nil tracer accumulated")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+	if !strings.Contains(r.RenderText(), "disabled") {
+		t.Error("nil registry text view does not say disabled")
+	}
+	if _, err := r.BenchJSON(); err != nil {
+		t.Errorf("nil registry BenchJSON: %v", err)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Desc{Name: "z", Layer: LayerKernel})
+	r.Counter(Desc{Name: "a", Layer: LayerKernel})
+	r.Counter(Desc{Name: "m", Layer: LayerCPU})
+	r.Counter(Desc{Name: "m", Label: CoreLabel(1), Layer: LayerCPU})
+	r.Counter(Desc{Name: "m", Label: CoreLabel(0), Layer: LayerCPU})
+	var got []string
+	for _, m := range r.Snapshot() {
+		got = append(got, m.Layer+"/"+m.Name+"{"+m.Label+"}")
+	}
+	want := []string{
+		`cpu/m{}`, `cpu/m{core="0"}`, `cpu/m{core="1"}`,
+		`kernel/a{}`, `kernel/z{}`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d metrics, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(Event{Kind: EvTaskSpawn, Arg: uint64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(7 + i); e.Arg != want {
+			t.Errorf("event %d arg = %d, want %d (oldest-first order)", i, e.Arg, want)
+		}
+	}
+}
+
+func TestNamesCollapsesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Desc{Name: "busy", Label: CoreLabel(0)})
+	r.Counter(Desc{Name: "busy", Label: CoreLabel(1)})
+	r.Gauge(Desc{Name: "pages"})
+	r.Histogram(Desc{Name: "lat"}, []uint64{1})
+	names := r.Names()
+	want := []string{"busy", "lat", "pages"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MetricPrefix namespaces the Prometheus exposition so scraped series
+// never collide with other jobs.
+const MetricPrefix = "darkarts_"
+
+// RenderText renders the registry as the /proc/cryptojack/stats view: one
+// aligned line per metric, grouped by layer, histograms summarized as
+// count/sum/mean plus their cumulative buckets, followed by the trace
+// tail. The format is stable (golden-tested) so operators can grep it.
+func (r *Registry) RenderText() string {
+	if r == nil {
+		return "observability disabled (kernel.Config.Obs is nil)\n"
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# cryptojack observability: %d metrics\n", len(snap))
+	layer := ""
+	for _, m := range snap {
+		if m.Layer != layer {
+			layer = m.Layer
+			fmt.Fprintf(&b, "[%s]\n", layer)
+		}
+		name := m.Name
+		if m.Label != "" {
+			name += "{" + m.Label + "}"
+		}
+		switch m.Type {
+		case "histogram":
+			mean := 0.0
+			if m.Value > 0 {
+				mean = float64(m.Sum) / float64(m.Value)
+			}
+			fmt.Fprintf(&b, "%-44s count=%d sum=%d mean=%.1f %s\n",
+				name, m.Value, m.Sum, mean, m.Unit)
+			fmt.Fprintf(&b, "%-44s %s\n", "", bucketLine(m.Buckets))
+		default:
+			fmt.Fprintf(&b, "%-44s %20d %s\n", name, m.Value, m.Unit)
+		}
+	}
+	if events := r.Tracer().Events(); len(events) > 0 {
+		fmt.Fprintf(&b, "[trace] last %d of %d events\n", len(events), r.Tracer().Total())
+		for _, e := range events {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+func bucketLine(buckets []Bucket) string {
+	parts := make([]string, 0, len(buckets))
+	for _, bk := range buckets {
+		if bk.Inf {
+			parts = append(parts, fmt.Sprintf("le=+Inf:%d", bk.Count))
+		} else {
+			parts = append(parts, fmt.Sprintf("le=%d:%d", bk.UpperBound, bk.Count))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), stdlib only. Counters and gauges become single
+// samples; histograms expand to cumulative _bucket series plus _sum and
+// _count, exactly as a prometheus/client_golang histogram would.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# observability disabled\n")
+		return err
+	}
+	var b strings.Builder
+	lastName := ""
+	for _, m := range r.Snapshot() {
+		full := MetricPrefix + m.Name
+		if m.Name != lastName {
+			lastName = m.Name
+			help := m.Help
+			if m.Unit != "" {
+				help += " (" + m.Unit + ")"
+			}
+			fmt.Fprintf(&b, "# HELP %s %s\n", full, help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", full, m.Type)
+		}
+		switch m.Type {
+		case "histogram":
+			for _, bk := range m.Buckets {
+				le := "+Inf"
+				if !bk.Inf {
+					le = fmt.Sprint(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", full, labelPrefix(m.Label), le, bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %d\n", full, labelBlock(m.Label), m.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", full, labelBlock(m.Label), m.Value)
+		default:
+			fmt.Fprintf(&b, "%s%s %d\n", full, labelBlock(m.Label), m.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func labelBlock(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "{" + label + "}"
+}
+
+func labelPrefix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return label + ","
+}
+
+// BenchRecord mirrors cmd/benchjson's Result schema, so a metrics
+// snapshot can be appended to (or diffed against) BENCH_*.json files with
+// the same tooling.
+type BenchRecord struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchRecords flattens the registry into one cmd/benchjson-schema record
+// per layer, named Obs/<layer>. Counters and gauges appear under their
+// (labelled) name; histograms contribute <name>_count, <name>_sum, and
+// <name>_mean.
+func (r *Registry) BenchRecords() []BenchRecord {
+	if r == nil {
+		return nil
+	}
+	byLayer := map[string]map[string]float64{}
+	var order []string
+	for _, m := range r.Snapshot() {
+		lm := byLayer[m.Layer]
+		if lm == nil {
+			lm = map[string]float64{}
+			byLayer[m.Layer] = lm
+			order = append(order, m.Layer)
+		}
+		name := m.Name
+		if m.Label != "" {
+			name += "{" + m.Label + "}"
+		}
+		switch m.Type {
+		case "histogram":
+			lm[name+"_count"] = float64(m.Value)
+			lm[name+"_sum"] = float64(m.Sum)
+			if m.Value > 0 {
+				lm[name+"_mean"] = float64(m.Sum) / float64(m.Value)
+			}
+		default:
+			lm[name] = float64(m.Value)
+		}
+	}
+	out := make([]BenchRecord, 0, len(order))
+	for _, layer := range order {
+		out = append(out, BenchRecord{Name: "Obs/" + layer, Iterations: 1, Metrics: byLayer[layer]})
+	}
+	return out
+}
+
+// BenchJSON marshals BenchRecords with the same indentation cmd/benchjson
+// uses, ready to write next to BENCH_baseline.json or feed to
+// `benchjson -merge`.
+func (r *Registry) BenchJSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r.BenchRecords(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

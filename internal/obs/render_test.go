@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenRegistry builds a registry with fixed contents so the rendered
+// views are byte-stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(Desc{Name: "tlb_hits_total", Label: CoreLabel(0), Layer: LayerCPU,
+		Unit: "hits", Help: "per-core TLB hits"}).Add(10)
+	r.Counter(Desc{Name: "tlb_hits_total", Label: CoreLabel(1), Layer: LayerCPU,
+		Unit: "hits", Help: "per-core TLB hits"}).Add(20)
+	r.Counter(Desc{Name: "sched_quanta_total", Layer: LayerKernel,
+		Unit: "quanta", Help: "scheduler quanta executed"}).Add(3)
+	h := r.Histogram(Desc{Name: "alert_latency_ns", Layer: LayerKernel,
+		Unit: "ns", Help: "threshold crossing to alert emission"}, []uint64{1000, 1000000})
+	h.Observe(500)
+	h.Observe(2_000_000)
+	r.Gauge(Desc{Name: "mem_pages", Layer: LayerMem,
+		Unit: "pages", Help: "mapped 4KB pages"}).Set(5)
+	r.Tracer().Record(Event{Time: 1500 * time.Millisecond, Kind: EvAlert, Arg: 1007, Note: "xmrig"})
+	return r
+}
+
+// TestRenderTextGolden pins the /proc/cryptojack/stats rendering: layer
+// grouping, alignment, histogram summary + cumulative buckets, and the
+// trace tail.
+func TestRenderTextGolden(t *testing.T) {
+	const golden = `# cryptojack observability: 5 metrics
+[cpu]
+tlb_hits_total{core="0"}                                       10 hits
+tlb_hits_total{core="1"}                                       20 hits
+[kernel]
+alert_latency_ns                             count=2 sum=2000500 mean=1000250.0 ns
+                                             le=1000:1 le=1000000:1 le=+Inf:2
+sched_quanta_total                                              3 quanta
+[mem]
+mem_pages                                                       5 pages
+[trace] last 1 of 1 events
+  [     1.500s] alert    1007 xmrig
+`
+	got := goldenRegistry().RenderText()
+	if got != golden {
+		t.Errorf("stats rendering drifted.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestWritePrometheusGolden pins the /metrics exposition format.
+func TestWritePrometheusGolden(t *testing.T) {
+	const golden = `# HELP darkarts_tlb_hits_total per-core TLB hits (hits)
+# TYPE darkarts_tlb_hits_total counter
+darkarts_tlb_hits_total{core="0"} 10
+darkarts_tlb_hits_total{core="1"} 20
+# HELP darkarts_alert_latency_ns threshold crossing to alert emission (ns)
+# TYPE darkarts_alert_latency_ns histogram
+darkarts_alert_latency_ns_bucket{le="1000"} 1
+darkarts_alert_latency_ns_bucket{le="1000000"} 1
+darkarts_alert_latency_ns_bucket{le="+Inf"} 2
+darkarts_alert_latency_ns_sum 2000500
+darkarts_alert_latency_ns_count 2
+# HELP darkarts_sched_quanta_total scheduler quanta executed (quanta)
+# TYPE darkarts_sched_quanta_total counter
+darkarts_sched_quanta_total 3
+# HELP darkarts_mem_pages mapped 4KB pages (pages)
+# TYPE darkarts_mem_pages gauge
+darkarts_mem_pages 5
+`
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != golden {
+		t.Errorf("prometheus rendering drifted.\n--- got ---\n%s\n--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestBenchRecords checks the cmd/benchjson-schema flattening.
+func TestBenchRecords(t *testing.T) {
+	recs := goldenRegistry().BenchRecords()
+	byName := map[string]BenchRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (cpu, kernel, mem): %+v", len(recs), recs)
+	}
+	cpu := byName["Obs/cpu"]
+	if cpu.Metrics[`tlb_hits_total{core="1"}`] != 20 {
+		t.Errorf("cpu record missing labelled counter: %+v", cpu)
+	}
+	k := byName["Obs/kernel"]
+	if k.Metrics["alert_latency_ns_count"] != 2 || k.Metrics["alert_latency_ns_sum"] != 2000500 {
+		t.Errorf("kernel record missing histogram summary: %+v", k)
+	}
+	if k.Metrics["alert_latency_ns_mean"] != 1000250 {
+		t.Errorf("kernel record mean = %v, want 1000250", k.Metrics["alert_latency_ns_mean"])
+	}
+	if byName["Obs/mem"].Metrics["mem_pages"] != 5 {
+		t.Errorf("mem record missing gauge: %+v", byName["Obs/mem"])
+	}
+	if _, err := goldenRegistry().BenchJSON(); err != nil {
+		t.Fatal(err)
+	}
+}

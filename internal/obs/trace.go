@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultTraceDepth is the ring capacity NewRegistry attaches: deep enough
+// to hold the interesting tail of a run (every alert, spawn, exit, and
+// tunable write of a multi-minute simulation), small enough to be free.
+const DefaultTraceDepth = 256
+
+// EventKind classifies a traced scheduler/pipeline event.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EvAlert: a monitoring window crossed the threshold (Arg = tgid).
+	EvAlert EventKind = iota + 1
+	// EvTaskSpawn: a task entered the system (Arg = pid).
+	EvTaskSpawn
+	// EvTaskExit: a task finished its workload (Arg = pid).
+	EvTaskExit
+	// EvTunableWrite: a procfs tunable was written at runtime.
+	EvTunableWrite
+	// EvFirmware: a microcode tag-table update was applied.
+	EvFirmware
+)
+
+// String names the kind for rendered views.
+func (k EventKind) String() string {
+	switch k {
+	case EvAlert:
+		return "alert"
+	case EvTaskSpawn:
+		return "spawn"
+	case EvTaskExit:
+		return "exit"
+	case EvTunableWrite:
+		return "tunable"
+	case EvFirmware:
+		return "firmware"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one traced occurrence. Time is simulated time (the kernel
+// clock), so traces from serial and parallel runs line up.
+type Event struct {
+	Time time.Duration `json:"time"`
+	Kind EventKind     `json:"kind"`
+	Arg  uint64        `json:"arg,omitempty"`
+	Note string        `json:"note,omitempty"`
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%10.3fs] %-8s", e.Time.Seconds(), e.Kind)
+	if e.Arg != 0 {
+		s += fmt.Sprintf(" %d", e.Arg)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Tracer is a bounded ring buffer of Events. Writes and reads take a
+// mutex; events are recorded at scheduler-decision granularity (spawns,
+// exits, alerts, tunable writes), never per instruction, so the lock is
+// uncontended in practice. All methods are no-ops on a nil receiver.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events ever recorded
+	depth int
+}
+
+// NewTracer returns a tracer retaining the last depth events.
+func NewTracer(depth int) *Tracer {
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	return &Tracer{buf: make([]Event, 0, depth), depth: depth}
+}
+
+// Record appends an event, evicting the oldest once the ring is full.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < t.depth {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next%uint64(t.depth)] = e
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < t.depth {
+		return append(out, t.buf...)
+	}
+	start := t.next % uint64(t.depth)
+	for i := 0; i < t.depth; i++ {
+		out = append(out, t.buf[(start+uint64(i))%uint64(t.depth)])
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}

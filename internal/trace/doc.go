@@ -1,0 +1,6 @@
+// Package trace provides the instruction-recording facility the paper's
+// methodology attributes to Intel's Software Development Emulator (SDE)
+// (Section V): per-opcode execution histograms for workload
+// characterization, and the 527-dimensional feature vectors consumed by
+// the machine-learning models in Section VI-E.
+package trace

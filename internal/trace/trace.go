@@ -1,8 +1,3 @@
-// Package trace provides the instruction-recording facility the paper's
-// methodology attributes to Intel's Software Development Emulator (SDE):
-// per-opcode execution histograms for workload characterization, and the
-// 527-dimensional feature vectors consumed by the machine-learning models
-// in Section VI-E.
 package trace
 
 import (

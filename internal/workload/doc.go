@@ -1,0 +1,13 @@
+// Package workload provides the benign workloads of the paper's evaluation:
+// synthetic SPEC CPU2006 instruction-mix programs (Figures 5-11), rate
+// models of the desktop applications in Table II/III and Figure 15, the
+// non-mining cryptocurrency applications of Figure 16/17, sustained
+// cryptographic-function workloads, and the 153-workload registry used for
+// the threshold sweep in Section VI-C.
+//
+// SPEC binaries and the real applications are not redistributable, so their
+// instruction mixes and RSX rates are calibrated from the paper's reported
+// numbers (see DESIGN.md); the mixes then flow through the real hardware
+// counter path of the simulator, so everything downstream of the decoder is
+// emergent.
+package workload

@@ -1,0 +1,60 @@
+package darkarts_test
+
+// OBSERVABILITY.md is the contract for the operations surface: every
+// metric a default system registers must be documented there by name.
+// This test builds a real kernel plus an instrumented ML pipeline,
+// collects the registered base names, and greps the doc.
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"darkarts/internal/core"
+	"darkarts/internal/detect"
+	"darkarts/internal/miner"
+	"darkarts/internal/obs"
+)
+
+func TestObservabilityDocCoversAllMetrics(t *testing.T) {
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+
+	sys, err := core.NewDefenseSystem(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner.SpawnMiner(sys.Kernel(), miner.Monero, 0, 2, 1000)
+	sys.Run(2 * time.Second)
+
+	// Attach the detect-layer metrics the same registry would carry in an
+	// ML deployment.
+	x := [][]float64{{0, 0, 0}, {5, 5, 5}, {0.1, 0, 0.2}, {5, 4.8, 5.1}}
+	y := []int{-1, 1, -1, 1}
+	p := &detect.Pipeline{Components: 2, Model: &detect.SVM{}, Obs: sys.Obs()}
+	if err := p.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p.Predict(x[0])
+
+	names := sys.Obs().Names()
+	if len(names) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, name := range names {
+		if !strings.Contains(text, "`"+name+"`") && !strings.Contains(text, "`"+name+"{") {
+			t.Errorf("OBSERVABILITY.md does not document metric %q", name)
+		}
+	}
+
+	// The layer names the doc organizes by must match the code's.
+	for _, layer := range []string{obs.LayerCPU, obs.LayerMem, obs.LayerKernel, obs.LayerDetect} {
+		if !strings.Contains(text, "`"+layer+"`") {
+			t.Errorf("OBSERVABILITY.md missing a section for layer %q", layer)
+		}
+	}
+}
