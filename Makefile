@@ -3,14 +3,20 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-json docs docscheck clean
+.PHONY: all check vet build test race lint bench bench-json docs docscheck clean
 
 all: check race
 
-check: vet docscheck build test
+check: vet docscheck build test lint
 
 vet:
 	$(GO) vet ./...
+
+# Invariant linter: the internal/analysis suite (determinism, lockcheck,
+# atomiccheck, hotpath) run over the whole module. Zero findings is part
+# of the tier-1 gate; see DESIGN.md "Checked invariants".
+lint:
+	$(GO) run ./cmd/cryptojacklint ./...
 
 build:
 	$(GO) build ./...
@@ -20,7 +26,8 @@ test:
 
 # Documentation gate: vet plus a doc.go package comment for every
 # internal package (the per-package paper tie-ins; see OBSERVABILITY.md
-# and DESIGN.md for the subsystem docs).
+# and DESIGN.md for the subsystem docs), and a `// Command <name>` doc
+# comment for every cmd main.
 docs: vet docscheck
 
 docscheck:
@@ -30,13 +37,18 @@ docscheck:
 	  elif ! grep -q '^// Package' "$$d/doc.go"; then \
 	    echo "docscheck: $$d/doc.go has no package comment"; fail=1; \
 	  fi; \
+	done; \
+	for d in cmd/*/; do \
+	  if ! grep -q '^// Command' "$$d"*.go; then \
+	    echo "docscheck: $$d has no '// Command' package comment"; fail=1; \
+	  fi; \
 	done; exit $$fail
 
-# Race-detect the packages the parallel quantum execution touches:
-# the scheduler, the core engines, the counter banks, and the metrics
-# registry they all report into.
+# Race-detect the whole module. The packages the parallel quantum
+# execution touches (scheduler, core engines, counter banks, metrics
+# registry) dominate the runtime; everything else rides along for free.
 race:
-	$(GO) test -race ./internal/kernel ./internal/cpu ./internal/counters ./internal/obs
+	$(GO) test -race ./...
 
 # Headline throughput benchmarks (engine MIPS + parallel scheduler).
 bench:

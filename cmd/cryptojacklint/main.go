@@ -1,0 +1,161 @@
+// Command cryptojacklint is the reproduction's invariant linter: it runs
+// the internal/analysis suite (determinism, lockcheck, atomiccheck,
+// hotpath) over the module and reports every violation of the simulator's
+// machine-checked conventions. `make lint` wires it into the tier-1 gate;
+// DESIGN.md §5d catalogues the analyzers and their annotation syntax.
+//
+// Usage:
+//
+//	cryptojacklint [-only names] [-sim-pkgs substrings] [-list] [patterns]
+//
+// Patterns default to ./... (the whole module). Exit status is 1 when any
+// finding is reported, 2 on load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"darkarts/internal/analysis"
+	"darkarts/internal/analysis/atomiccheck"
+	"darkarts/internal/analysis/determinism"
+	"darkarts/internal/analysis/hotpath"
+	"darkarts/internal/analysis/lockcheck"
+)
+
+// simPackagesDefault scopes the determinism analyzer to the simulation
+// packages whose state feeds the RSX counter pipeline. Wall-clock or
+// map-order nondeterminism elsewhere (CLI rendering, experiments) cannot
+// break the serial/parallel bit-identity guarantee.
+const simPackagesDefault = "internal/kernel,internal/cpu,internal/mem,internal/counters"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("cryptojacklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only    = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		simPkgs = fs.String("sim-pkgs", simPackagesDefault,
+			"comma-separated package-path substrings the determinism analyzer is scoped to")
+		list = fs.Bool("list", false, "list analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := []*analysis.Analyzer{
+		determinism.Analyzer,
+		lockcheck.Analyzer,
+		atomiccheck.Analyzer,
+		hotpath.Analyzer,
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "cryptojacklint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "cryptojacklint: %v\n", err)
+		return 2
+	}
+	root, err := moduleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "cryptojacklint: cannot find go.mod above %s\n", cwd)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Resolve directory patterns against the invocation directory, not the
+	// module root, so `cryptojacklint ./internal/cpu` works from anywhere.
+	for i, p := range patterns {
+		if strings.HasSuffix(p, "...") || filepath.IsAbs(p) {
+			continue
+		}
+		patterns[i] = filepath.Join(cwd, p)
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "cryptojacklint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "cryptojacklint: %v\n", err)
+		return 2
+	}
+
+	sims := strings.Split(*simPkgs, ",")
+	filter := func(a *analysis.Analyzer, pkgPath string) bool {
+		if a.Name != determinism.Analyzer.Name {
+			return true
+		}
+		for _, s := range sims {
+			if s = strings.TrimSpace(s); s != "" && strings.Contains(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	findings, err := analysis.Run(pkgs, analyzers, loader.Dirs, filter)
+	if err != nil {
+		fmt.Fprintf(stderr, "cryptojacklint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "cryptojacklint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,58 @@
+// Package victim is the cryptojacklint end-to-end fixture: a package with
+// one seeded violation per analyzer (plus one suppressed site), used by
+// the cmd test to golden-diff the binary's diagnostics and exit code.
+package victim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type miner struct {
+	mu     sync.Mutex
+	shares uint64 // guarded by mu
+	hashes uint64
+}
+
+// Stamp seeds a determinism violation: wall-clock time in simulation state.
+func (m *miner) Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Shares seeds a lockcheck violation: a guarded read without the lock.
+func (m *miner) Shares() uint64 {
+	return m.shares
+}
+
+// AddShare holds the lock correctly.
+func (m *miner) AddShare() {
+	m.mu.Lock()
+	m.shares++
+	m.mu.Unlock()
+}
+
+// AddHash uses the atomic API for hashes...
+func (m *miner) AddHash() {
+	atomic.AddUint64(&m.hashes, 1)
+}
+
+// Hashes seeds an atomiccheck violation: ...but reads it plainly here.
+func (m *miner) Hashes() uint64 {
+	return m.hashes
+}
+
+// HashesSettled is the suppressed counterpart: the binary must honour
+// //lint:ignore and report nothing for this line.
+func (m *miner) HashesSettled() uint64 {
+	//lint:ignore atomiccheck read happens after the worker pool has drained
+	return m.hashes
+}
+
+// step seeds a hotpath violation: a formatting call on the hot loop.
+//
+//cryptojack:hotpath
+func (m *miner) step(n uint64) string {
+	return fmt.Sprintf("step-%d", n)
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker. It mirrors the
+// golang.org/x/tools/go/analysis shape so the passes port directly to the
+// upstream driver if the dependency ever becomes available.
+type Analyzer struct {
+	// Name is the stable identifier used in diagnostics and in
+	// //lint:ignore suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by cryptojacklint -help.
+	Doc string
+	// Run reports the analyzer's diagnostics for one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dirs indexes the //cryptojack:* function directives and
+	// "guarded by" field annotations of every target package in the load,
+	// so cross-package callee checks (cpu→counters, kernel→obs) see the
+	// same annotations a same-package check would.
+	Dirs *Directives
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want "regexp" comments in the fixture source,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the local
+// framework. A fixture line expecting a diagnostic reads:
+//
+//	time.Now() // want `time\.Now`
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched by a diagnostic; mismatches in either direction fail the test.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"darkarts/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.+)$")
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory) and checks analyzer's findings against its // want
+// comments. Suppression (//lint:ignore) and directive handling go through
+// the same driver path production uses.
+func Run(t *testing.T, analyzer *analysis.Analyzer, dir string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := loader.Load(abs)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages in %s", dir)
+	}
+
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{analyzer}, loader.Dirs, nil)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	expects := collectWants(t, pkgs)
+	for _, f := range findings {
+		if !match(expects, f) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("expected diagnostic matching %q at %s:%d, got none", e.pattern, e.file, e.line)
+		}
+	}
+}
+
+// match marks and reports the first unmatched expectation covering f.
+func match(expects []*expectation, f analysis.Finding) bool {
+	for _, e := range expects {
+		if e.matched || e.file != f.Pos.Filename || e.line != f.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts // want expectations from the fixture's comments.
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range splitPatterns(m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("bad want pattern %q at %s:%d: %v", pat, pos.Filename, pos.Line, err)
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns parses the quoted or backquoted regexp list after "want".
+// Double-quoted patterns must not contain escaped quotes (use backquotes).
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" || (s[0] != '`' && s[0] != '"') {
+			return out
+		}
+		q := s[0]
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return out
+		}
+		if q == '"' {
+			if u, err := strconv.Unquote(s[:end+2]); err == nil {
+				out = append(out, u)
+			}
+		} else {
+			out = append(out, s[1:1+end])
+		}
+		s = s[end+2:]
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

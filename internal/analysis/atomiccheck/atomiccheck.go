@@ -1,0 +1,189 @@
+// Package atomiccheck enforces all-or-nothing atomicity: a struct field
+// that is ever accessed through a sync/atomic function (atomic.AddUint64,
+// atomic.LoadPointer, ...) must be accessed through sync/atomic
+// everywhere. A single plain read of such a field — the tag-table pointer
+// a core decodes through while firmware swaps it, or an obs counter the
+// render path reads while cores increment it — is a data race that the
+// race detector only catches when the exact interleaving fires; this check
+// catches it structurally.
+//
+// Fields of the atomic.Uint64-style wrapper types are safe by
+// construction (the type system already forbids plain access) and need no
+// annotation or checking. Plain access to an atomic field is allowed only
+// while the enclosing value is freshly constructed in the same function
+// (initialization before the value escapes cannot race).
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"darkarts/internal/analysis"
+)
+
+// Analyzer is the mixed atomic/plain access checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc:  "report plain reads/writes of struct fields that are accessed via sync/atomic elsewhere in the package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := map[types.Object]token.Pos{}
+	// Pass 1: every &x.f argument of a sync/atomic call marks f atomic.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := un.X.(*ast.SelectorExpr); ok {
+					if f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && f.IsField() {
+						if _, seen := atomicFields[f]; !seen {
+							atomicFields[f] = call.Pos()
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector use of those fields is a plain access.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fresh := freshReceivers(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+				if !ok {
+					return true
+				}
+				firstUse, isAtomic := atomicFields[f]
+				if !isAtomic || isAtomicOperand(pass, file, sel) {
+					return true
+				}
+				if root := rootIdent(sel.X); root != nil {
+					if obj := pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
+						return true
+					}
+				}
+				p := pass.Fset.Position(firstUse)
+				pass.Reportf(sel.Sel.Pos(),
+					"plain access of %s, which is accessed atomically at %s:%d: mixed access is a data race (use sync/atomic here too)",
+					f.Name(), filepath.Base(p.Filename), p.Line)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicOperand reports whether sel appears as &sel inside a
+// sync/atomic call's arguments (the sanctioned access form).
+func isAtomicOperand(pass *analysis.Pass, file *ast.File, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND && un.X == sel {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// freshReceivers returns objects bound to values constructed inside fn
+// (composite literal or new), plus any value the function returns after
+// building it — initialization stores before publication are race-free.
+func freshReceivers(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil && constructs(assign.Rhs[i]) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// constructs reports whether e is a composite literal, &literal, or new().
+func constructs(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, atomiccheck.Analyzer, "testdata/src/atomics")
+}

@@ -1,0 +1,35 @@
+// Package atomics is the atomiccheck analyzer's fixture: one field
+// accessed consistently atomically, one with a seeded mixed access.
+package atomics
+
+import "sync/atomic"
+
+type stats struct {
+	hits  uint64
+	mixed uint64
+	plain uint64
+}
+
+func (s *stats) IncHits()       { atomic.AddUint64(&s.hits, 1) }
+func (s *stats) Hits() uint64   { return atomic.LoadUint64(&s.hits) }
+func (s *stats) IncMixed()      { atomic.AddUint64(&s.mixed, 1) }
+func (s *stats) PlainOk() uint64 { s.plain++; return s.plain } // ok: never atomic anywhere
+
+func (s *stats) MixedRead() uint64 {
+	return s.mixed // want `plain access of mixed`
+}
+
+func (s *stats) MixedWrite() {
+	s.mixed = 0 // want `plain access of mixed`
+}
+
+func newStats() *stats {
+	s := &stats{}
+	s.mixed = 0 // ok: initialization before the value escapes
+	return s
+}
+
+func (s *stats) SuppressedSnapshot() uint64 {
+	//lint:ignore atomiccheck read happens after the worker barrier
+	return s.mixed
+}

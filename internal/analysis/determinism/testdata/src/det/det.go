@@ -1,0 +1,52 @@
+// Package det is the determinism analyzer's fixture: each // want line
+// seeds one violation of the serial/parallel bit-identity rules.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `time\.Now`
+	return t.UnixNano()
+}
+
+func obsTimer() int64 {
+	//lint:ignore determinism host wall clock feeds metrics only, never simulation state
+	return time.Now().UnixNano()
+}
+
+func roll() int {
+	return rand.Intn(6) // want `global rand\.Intn`
+}
+
+func seeded(r *rand.Rand) int {
+	return r.Intn(6) // ok: caller-owned seeded stream
+}
+
+func mergeOrder(m map[int]uint64) []int {
+	var keys []int
+	for k := range m { // ok: collected into a slice that is sorted below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func emit(m map[int]uint64) uint64 {
+	var sum uint64
+	for _, v := range m { // want `map iteration order`
+		sum = sum<<1 ^ v
+	}
+	return sum
+}
+
+func overSlice(s []uint64) uint64 {
+	var sum uint64
+	for _, v := range s { // ok: slice order is deterministic
+		sum = sum<<1 ^ v
+	}
+	return sum
+}

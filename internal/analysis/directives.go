@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Function directive comments. Each appears on its own line inside a
+// function's doc comment (directive style, no space after //):
+//
+//	//cryptojack:hotpath  — the function is on the per-instruction hot
+//	                        path: it must not allocate, format, lock, or
+//	                        call anything that is not hotpath or coldpath.
+//	//cryptojack:coldpath — an acknowledged slow path (fault handling,
+//	                        page-table walks): hotpath functions may call
+//	                        it, and it is itself exempt from hotpath rules.
+//	//cryptojack:locked   — the function's contract is "caller holds the
+//	                        mutex"; lockcheck skips its guarded accesses.
+const (
+	DirHotpath  = "cryptojack:hotpath"
+	DirColdpath = "cryptojack:coldpath"
+	DirLocked   = "cryptojack:locked"
+)
+
+// guardedRe matches the field annotation lockcheck consumes, e.g.
+//
+//	tasks []*Task // guarded by mu
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// ignoreRe matches suppression comments:
+//
+//	//lint:ignore determinism host wall clock feeds metrics only
+//
+// The analyzer list is comma-separated; the trailing reason is mandatory
+// (a suppression without a justification does not suppress).
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z0-9_,]+)\s+\S`)
+
+// Directives indexes every annotation of the loaded target packages.
+type Directives struct {
+	funcs   map[types.Object]map[string]bool // func → directive set
+	guarded map[types.Object]string          // struct field → mutex field name
+	// suppress maps filename → line → analyzer names suppressed there.
+	suppress map[string]map[int]map[string]bool
+}
+
+func newDirectives() *Directives {
+	return &Directives{
+		funcs:    map[types.Object]map[string]bool{},
+		guarded:  map[types.Object]string{},
+		suppress: map[string]map[int]map[string]bool{},
+	}
+}
+
+// Has reports whether fn carries the directive dir.
+func (d *Directives) Has(fn types.Object, dir string) bool {
+	if d == nil || fn == nil {
+		return false
+	}
+	return d.funcs[fn][dir]
+}
+
+// GuardOf returns the mutex field name guarding field, if annotated.
+func (d *Directives) GuardOf(field types.Object) (string, bool) {
+	if d == nil {
+		return "", false
+	}
+	g, ok := d.guarded[field]
+	return g, ok
+}
+
+// GuardedFields returns every annotated field object (package-merge order;
+// callers must not depend on ordering).
+func (d *Directives) GuardedFields() map[types.Object]string { return d.guarded }
+
+// Suppressed reports whether a diagnostic from analyzer at position pos is
+// covered by a //lint:ignore comment on the same or the preceding line.
+func (d *Directives) Suppressed(analyzer string, pos token.Position) bool {
+	if d == nil {
+		return false
+	}
+	lines := d.suppress[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if names := lines[ln]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collect scans one type-checked file for directives, guarded-by field
+// annotations, and suppression comments.
+func (d *Directives) collect(fset *token.FileSet, file *ast.File, info *types.Info) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			lines := d.suppress[pos.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				d.suppress[pos.Filename] = lines
+			}
+			names := lines[pos.Line]
+			if names == nil {
+				names = map[string]bool{}
+				lines[pos.Line] = names
+			}
+			for _, n := range strings.Split(m[1], ",") {
+				names[n] = true
+			}
+		}
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Doc == nil {
+				return true
+			}
+			obj := info.Defs[n.Name]
+			if obj == nil {
+				return true
+			}
+			for _, c := range n.Doc.List {
+				switch strings.TrimPrefix(c.Text, "//") {
+				case DirHotpath, DirColdpath, DirLocked:
+					set := d.funcs[obj]
+					if set == nil {
+						set = map[string]bool{}
+						d.funcs[obj] = set
+					}
+					set[strings.TrimPrefix(c.Text, "//")] = true
+				}
+			}
+		case *ast.StructType:
+			for _, f := range n.Fields.List {
+				guard := ""
+				for _, cg := range [2]*ast.CommentGroup{f.Doc, f.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+						guard = m[1]
+					}
+				}
+				if guard == "" {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := info.Defs[name]; obj != nil {
+						d.guarded[obj] = guard
+					}
+				}
+			}
+		}
+		return true
+	})
+}

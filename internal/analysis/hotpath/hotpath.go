@@ -1,0 +1,244 @@
+// Package hotpath verifies the //cryptojack:hotpath contract: functions on
+// the per-instruction path — the interpreter loops, the retirement
+// counting, the TLB translation, the obs metric handles — must not
+// allocate, format, lock, or call into unvetted code. The fast engine's
+// MIPS figure (BENCH_baseline.json) depends on exactly this property; a
+// stray fmt.Sprintf or map literal in runFast costs more than the whole
+// RSX defense does.
+//
+// Inside an annotated function the analyzer reports:
+//
+//   - allocation: make/new/append, slice/map composite literals,
+//     &-literals, closures, string concatenation, and string<->[]byte
+//     conversions (value struct/array literals stay on the stack and are
+//     allowed);
+//   - control transfers that park the goroutine: go, defer, select,
+//     channel operations;
+//   - lock acquisition: any call into package sync;
+//   - formatting: any call into package fmt;
+//   - stdlib calls outside the vetted leaf set (sync/atomic, math,
+//     math/bits, encoding/binary, unsafe, errors.Is-free paths);
+//   - calls to module functions that are neither //cryptojack:hotpath
+//     (checked recursively) nor //cryptojack:coldpath (an acknowledged
+//     slow path, e.g. a fault handler or page-table walk);
+//   - dynamic calls (interface methods, func values), which the checker
+//     cannot follow — suppress with //lint:ignore hotpath and a
+//     justification when the dynamic target is vetted by other means.
+//
+// The callgraph discipline is annotation-propagated: every static callee
+// must itself be hotpath (and is then checked to the same standard) or
+// coldpath, so the invariant holds transitively without whole-program
+// escape analysis.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"darkarts/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation/locking checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation, fmt, locks, and unvetted calls in //cryptojack:hotpath functions",
+	Run:  run,
+}
+
+// leafPackages are stdlib packages whose functions neither allocate nor
+// block (for the subset a simulator hot path plausibly calls).
+var leafPackages = map[string]bool{
+	"sync/atomic":     true,
+	"math":            true,
+	"math/bits":       true,
+	"encoding/binary": true,
+	"unsafe":          true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil || !pass.Dirs.Has(obj, analysis.DirHotpath) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hotpath function %s", fn.Name.Name)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hotpath function %s (defer records a frame and delays unlock-style cleanup)", fn.Name.Name)
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in hotpath function %s", fn.Name.Name)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in hotpath function %s", fn.Name.Name)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive in hotpath function %s", fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hotpath function %s (func literals allocate)", fn.Name.Name)
+			return false
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, fn, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation in hotpath function %s allocates", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fn, n)
+		}
+		return true
+	})
+}
+
+// checkCompositeLit allows value struct/array literals (stack) and flags
+// reference-kind literals (slice, map) which always allocate.
+func checkCompositeLit(pass *analysis.Pass, fn *ast.FuncDecl, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in hotpath function %s allocates", fn.Name.Name)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in hotpath function %s allocates", fn.Name.Name)
+	}
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	// Type conversions: only string<->[]byte/[]rune copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && conversionAllocates(pass, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "string conversion in hotpath function %s allocates", fn.Name.Name)
+		}
+		return
+	}
+
+	callee := calleeObject(pass, call)
+	if callee == nil {
+		pass.Reportf(call.Pos(),
+			"dynamic call in hotpath function %s: the checker cannot verify the target (suppress with //lint:ignore hotpath if it is vetted)",
+			fn.Name.Name)
+		return
+	}
+
+	if b, ok := callee.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make", "new", "append":
+			pass.Reportf(call.Pos(), "%s in hotpath function %s allocates", b.Name(), fn.Name.Name)
+		case "panic":
+			pass.Reportf(call.Pos(), "panic in hotpath function %s (route faults through a coldpath handler instead)", fn.Name.Name)
+		}
+		return
+	}
+
+	cfn, ok := callee.(*types.Func)
+	if !ok || cfn.Pkg() == nil {
+		return // error.Error and friends resolve as dynamic above
+	}
+	path := cfn.Pkg().Path()
+	switch {
+	case path == pass.Pkg.Path() || samePkgPrefix(pass, path):
+		if pass.Dirs.Has(cfn, analysis.DirHotpath) || pass.Dirs.Has(cfn, analysis.DirColdpath) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"call from hotpath function %s to %s, which is neither //cryptojack:hotpath nor //cryptojack:coldpath",
+			fn.Name.Name, cfn.Name())
+	case path == "fmt":
+		pass.Reportf(call.Pos(), "call to fmt.%s in hotpath function %s (formatting allocates)", cfn.Name(), fn.Name.Name)
+	case path == "sync":
+		pass.Reportf(call.Pos(), "call to sync.(%s) in hotpath function %s acquires a lock", cfn.Name(), fn.Name.Name)
+	case leafPackages[path]:
+		// vetted leaf
+	default:
+		pass.Reportf(call.Pos(), "call to %s.%s in hotpath function %s is outside the vetted leaf set", path, cfn.Name(), fn.Name.Name)
+	}
+}
+
+// samePkgPrefix reports whether path belongs to the same module as the
+// package under analysis (shared first path segment; stdlib paths never
+// collide with the module name).
+func samePkgPrefix(pass *analysis.Pass, path string) bool {
+	return firstSegment(path) == firstSegment(pass.Pkg.Path())
+}
+
+func firstSegment(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}
+
+// calleeObject resolves a static callee: a named function or method.
+// Interface-method and func-value calls return nil.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			return obj
+		case *types.Func:
+			return obj
+		}
+		return nil // func-typed variable
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sel, found := pass.TypesInfo.Selections[fun]; found && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch
+			}
+		}
+		return obj
+	}
+	return nil
+}
+
+// conversionAllocates reports whether converting arg to target copies
+// (string <-> []byte/[]rune in either direction).
+func conversionAllocates(pass *analysis.Pass, target types.Type, arg ast.Expr) bool {
+	argT, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return false
+	}
+	return (isStringType(target) && isByteOrRuneSlice(argT.Type)) ||
+		(isByteOrRuneSlice(target) && isStringType(argT.Type))
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src/hot")
+}

@@ -1,0 +1,100 @@
+// Package hot is the hotpath analyzer's fixture: annotated functions with
+// seeded allocations, locks, formatting, and unvetted calls.
+package hot
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type engine struct {
+	mu    sync.Mutex
+	count atomic.Uint64
+}
+
+//cryptojack:hotpath
+func (e *engine) retire(n uint64) {
+	e.count.Add(n) // ok: sync/atomic is a vetted leaf
+}
+
+// slowRefill is the acknowledged slow path.
+//
+//cryptojack:coldpath
+func (e *engine) slowRefill() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+//cryptojack:hotpath
+func (e *engine) step() {
+	e.retire(1)    // ok: hotpath callee, checked recursively
+	e.slowRefill() // ok: coldpath callee, acknowledged slow path
+}
+
+//cryptojack:hotpath
+func (e *engine) badAlloc() []byte {
+	return make([]byte, 8) // want `make in hotpath`
+}
+
+//cryptojack:hotpath
+func (e *engine) badAppend(dst []int, v int) []int {
+	return append(dst, v) // want `append in hotpath`
+}
+
+//cryptojack:hotpath
+func (e *engine) badFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf`
+}
+
+//cryptojack:hotpath
+func (e *engine) badLock() {
+	e.mu.Lock() // want `acquires a lock`
+}
+
+//cryptojack:hotpath
+func (e *engine) badCallee() {
+	e.unvetted() // want `neither //cryptojack:hotpath nor //cryptojack:coldpath`
+}
+
+func (e *engine) unvetted() {}
+
+//cryptojack:hotpath
+func (e *engine) badDynamic(f func()) {
+	f() // want `dynamic call`
+}
+
+//cryptojack:hotpath
+func (e *engine) observed(f func()) {
+	//lint:ignore hotpath observer is attached only in bounded tracing windows
+	f()
+}
+
+//cryptojack:hotpath
+func (e *engine) badConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//cryptojack:hotpath
+func (e *engine) badConvert(b []byte) string {
+	return string(b) // want `string conversion`
+}
+
+//cryptojack:hotpath
+func (e *engine) badClosure() func() {
+	return func() {} // want `closure`
+}
+
+//cryptojack:hotpath
+func (e *engine) badDefer() {
+	defer e.slowRefill() // want `defer in hotpath`
+}
+
+func notHot() []byte {
+	return make([]byte, 8) // ok: unannotated functions are exempt
+}
+
+//cryptojack:hotpath
+func valueLiteral() [2]uint64 {
+	return [2]uint64{1, 2} // ok: value array literal stays on the stack
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	// PkgPath is the import path (module-relative pseudo path for
+	// packages outside the module, e.g. testdata fixtures).
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages without the go command or any
+// network access: module-local import paths resolve against the module
+// root, everything else against GOROOT/src (with the GOROOT vendor tree as
+// fallback). Stdlib dependencies are type-checked from source, so the
+// loader works in a hermetic build environment.
+type Loader struct {
+	Fset *token.FileSet
+	Dirs *Directives
+
+	ctx     build.Context
+	modPath string
+	modRoot string
+
+	targets map[string]bool     // import paths to load with full syntax+info
+	loaded  map[string]*Package // target results
+	deps    map[string]*types.Package
+	loading map[string]bool // import cycle detection
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(modRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", modRoot)
+	}
+	ctx := build.Default
+	// Disable cgo so stdlib packages select their pure-Go variants; the
+	// type checker cannot preprocess cgo files.
+	ctx.CgoEnabled = false
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		Dirs:    newDirectives(),
+		ctx:     ctx,
+		modPath: string(m[1]),
+		modRoot: abs,
+		targets: map[string]bool{},
+		loaded:  map[string]*Package{},
+		deps:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Load resolves patterns ("./..." for the module tree, or directory paths,
+// which may point outside the module — e.g. testdata fixtures) and returns
+// the type-checked target packages sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			expanded, err := l.expand(l.modRoot)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, expanded...)
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.modRoot, strings.TrimSuffix(pat, "/..."))
+			expanded, err := l.expand(root)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, expanded...)
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(l.modRoot, d)
+			}
+			dirs = append(dirs, filepath.Clean(d))
+		}
+	}
+
+	paths := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		p := l.importPathFor(d)
+		if !l.targets[p] {
+			l.targets[p] = true
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	var pkgs []*Package
+	for _, p := range paths {
+		if _, err := l.importPkg(p); err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+		if pkg := l.loaded[p]; pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expand walks root for directories containing buildable Go files.
+func (l *Loader) expand(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if bp, err := l.ctx.ImportDir(path, 0); err == nil && len(bp.GoFiles) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// importPathFor maps a directory to its import path: module-relative for
+// directories under the module root, a cleaned relative pseudo path
+// otherwise.
+func (l *Loader) importPathFor(dir string) string {
+	if rel, err := filepath.Rel(l.modRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.modPath
+		}
+		return l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(dir)
+}
+
+// resolve maps an import path to the directory holding its source.
+func (l *Loader) resolve(path string) (string, error) {
+	if path == l.modPath {
+		return l.modRoot, nil
+	}
+	if strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(path, l.modPath+"/")
+		// Pseudo paths for testdata fixtures stay under the module too.
+		return filepath.Join(l.modRoot, filepath.FromSlash(rel)), nil
+	}
+	if filepath.IsAbs(filepath.FromSlash(path)) {
+		return filepath.FromSlash(path), nil
+	}
+	goroot := l.ctx.GOROOT
+	for _, d := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q", path)
+}
+
+// Import implements types.Importer over the loader's resolution rules.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg.Types, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	return l.importPkg(path)
+}
+
+// importPkg loads path: targets get full syntax, comments, and type
+// information plus directive extraction; dependencies are type-checked
+// just deeply enough to supply their exported API.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg.Types, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(bp.GoFiles) == 0 {
+		return nil, &build.NoGoError{Dir: dir}
+	}
+
+	target := l.targets[path]
+	mode := parser.SkipObjectResolution
+	if target {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{Importer: l}
+	var info *types.Info
+	if target {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+
+	if target {
+		pkg := &Package{PkgPath: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+		for _, f := range files {
+			l.Dirs.collect(l.Fset, f, info)
+		}
+		l.loaded[path] = pkg
+	} else {
+		l.deps[path] = tpkg
+	}
+	return tpkg, nil
+}

@@ -1,0 +1,382 @@
+// Package lockcheck enforces "guarded by" field annotations. A struct
+// field annotated
+//
+//	tasks []*Task // guarded by mu
+//
+// must only be read while mu is held (Lock or RLock) and only written
+// while mu is held exclusively (Lock), verified per function by a lexical
+// scan: the closest preceding Lock/RLock/Unlock/RUnlock call on the same
+// receiver chain decides the lock state at each access.
+//
+// Two escapes reflect real idioms:
+//
+//   - functions annotated //cryptojack:locked declare "caller holds the
+//     mutex" and are skipped (the call sites are checked instead, because
+//     they either hold the lock or are themselves annotated);
+//   - accesses to objects constructed in the same function (composite
+//     literal or new) are skipped — a value that has not escaped yet
+//     cannot be shared.
+//
+// The scan is lexical, not flow-sensitive, with two refinements that
+// match the codebase's straight-line lock/defer-unlock style: function
+// literals are independent scopes (a closure must establish its own lock
+// state, and a deferred unlock closure does not disturb the enclosing
+// function's), and events inside a branch that terminates (ends in
+// return/break/continue) do not affect the code after the branch — so
+// the `if done { mu.Unlock(); return }` early-exit idiom does not poison
+// the straight-line path. False negatives the approximation admits are
+// caught by `make race`, which runs the full test suite under the race
+// detector.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"darkarts/internal/analysis"
+)
+
+// Analyzer is the guarded-field checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "report reads/writes of `// guarded by <field>` struct fields outside the guarding mutex",
+	Run:  run,
+}
+
+// lockEvent is one mutex operation at a source position.
+type lockEvent struct {
+	key  string // rendered chain, e.g. "k.mu"
+	kind string // "Lock", "RLock", "Unlock", "RUnlock"
+	pos  token.Pos
+}
+
+// access is one guarded-field use.
+type access struct {
+	key   string // required mutex chain, e.g. "k.mu"
+	field types.Object
+	write bool
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil && pass.Dirs.Has(obj, analysis.DirLocked) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	fresh := freshLocals(pass, fn.Body)
+	for _, scope := range scopes(fn.Body) {
+		checkScope(pass, fn.Name.Name, scope, fresh)
+	}
+}
+
+// scopes returns body plus the body of every function literal within it:
+// a closure runs at an arbitrary time, so its lock state is self-contained
+// and checked independently of the enclosing function's.
+func scopes(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+func checkScope(pass *analysis.Pass, name string, body *ast.BlockStmt, fresh map[types.Object]bool) {
+	events := lockEvents(body)
+	for _, acc := range guardedAccesses(pass, body, fresh) {
+		state := "" // unlocked
+		for _, ev := range events {
+			if ev.pos >= acc.pos || ev.key != acc.key {
+				continue
+			}
+			switch ev.kind {
+			case "Lock":
+				state = "Lock"
+			case "RLock":
+				state = "RLock"
+			case "Unlock", "RUnlock":
+				state = ""
+			}
+		}
+		switch {
+		case state == "":
+			pass.Reportf(acc.pos, "%s of %s is not preceded by %s.Lock in %s (field is guarded by %s)",
+				verb(acc.write), acc.field.Name(), acc.key, name, acc.key)
+		case state == "RLock" && acc.write:
+			pass.Reportf(acc.pos, "write of %s under %s.RLock: writes need the exclusive Lock", acc.field.Name(), acc.key)
+		}
+	}
+}
+
+func verb(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// freshLocals returns objects bound in body to values constructed there
+// (composite literals and new calls), which cannot be shared yet.
+func freshLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil && constructsValue(pass, assign.Rhs[i]) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// constructsValue reports whether e evaluates to a freshly allocated value.
+func constructsValue(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return false
+}
+
+// lockEvents collects every non-deferred mutex method call in body, in
+// source order. Deferred unlocks run at return and do not change the
+// lexical lock state; function literals are separate scopes; and events
+// inside a terminating branch (one ending in return/break/continue)
+// cannot affect the code after the branch, so they are dropped.
+func lockEvents(body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			// Deferred calls run at return; closures are their own scope.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind := sel.Sel.Name
+		switch kind {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		case "TryLock", "TryRLock":
+			// Conservative: a try-lock may fail, so it never blesses
+			// later accesses.
+			return true
+		default:
+			return true
+		}
+		if inTerminatingBranch(stack, body) {
+			return true
+		}
+		if key := renderChain(sel.X); key != "" {
+			events = append(events, lockEvent{key: key, kind: kind, pos: call.Pos()})
+		}
+		return true
+	})
+	return events
+}
+
+// inTerminatingBranch reports whether the node on top of stack sits in a
+// nested statement list (if/else body, case clause, ...) whose control
+// flow never reaches the statements after it — the innermost enclosing
+// list below the scope body ends in return or break/continue/goto.
+func inTerminatingBranch(stack []ast.Node, body *ast.BlockStmt) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			if b == body {
+				return false // scope's own statement list
+			}
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		if len(list) == 0 {
+			return false
+		}
+		switch list[len(list)-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// guardedAccesses finds selector uses of guarded fields in body, skipping
+// bases that are fresh locals. Function literals are separate scopes and
+// are not descended into.
+func guardedAccesses(pass *analysis.Pass, body *ast.BlockStmt, fresh map[types.Object]bool) []access {
+	var out []access
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := pass.TypesInfo.Uses[sel.Sel]
+		if field == nil {
+			return true
+		}
+		guard, ok := pass.Dirs.GuardOf(field)
+		if !ok {
+			return true
+		}
+		base := sel.X
+		if root := rootIdent(base); root != nil {
+			if obj := pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
+				return true
+			}
+		}
+		key := renderChain(base)
+		if key == "" {
+			return true
+		}
+		out = append(out, access{
+			key:   key + "." + guard,
+			field: field,
+			write: isWrite(stack, sel),
+			pos:   sel.Sel.Pos(),
+		})
+		return true
+	})
+	return out
+}
+
+// isWrite reports whether the selector (or an index/slice of it) is a
+// store target, an inc/dec operand, or has its address taken.
+func isWrite(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	var cur ast.Expr = sel
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.SliceExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == cur
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// renderChain renders a pure ident/selector chain ("p.k"); impure bases
+// (calls, indexing) render empty and are skipped.
+func renderChain(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := renderChain(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return renderChain(x.X)
+	case *ast.StarExpr:
+		return renderChain(x.X)
+	}
+	return ""
+}

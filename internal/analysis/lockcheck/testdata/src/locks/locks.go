@@ -1,0 +1,105 @@
+// Package locks is the lockcheck analyzer's fixture: guarded fields with
+// seeded unlocked and read-locked-write accesses.
+package locks
+
+import "sync"
+
+type counterSet struct {
+	mu sync.Mutex
+	// total is the running sum. guarded by mu
+	total uint64
+	names []string // guarded by mu
+}
+
+func (c *counterSet) Good() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	return c.total
+}
+
+func (c *counterSet) Bad() uint64 {
+	return c.total // want `read of total is not preceded by c\.mu\.Lock`
+}
+
+func (c *counterSet) BadWrite(n uint64) {
+	c.total += n // want `write of total is not preceded by c\.mu\.Lock`
+}
+
+func (c *counterSet) BadAfterUnlock() int {
+	c.mu.Lock()
+	c.names = append(c.names, "x")
+	c.mu.Unlock()
+	return len(c.names) // want `read of names is not preceded by c\.mu\.Lock`
+}
+
+//cryptojack:locked
+func (c *counterSet) addLocked(n uint64) {
+	c.total += n // ok: contract says caller holds mu
+}
+
+func (c *counterSet) ViaHelper(n uint64) {
+	c.mu.Lock()
+	c.addLocked(n)
+	c.mu.Unlock()
+}
+
+func (c *counterSet) GoodEarlyReturn(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.total++ // ok: the early-return branch's Unlock is off this path
+	c.mu.Unlock()
+}
+
+func (c *counterSet) GoodDeferredClosure() {
+	defer func() {
+		c.mu.Lock()
+		c.total++ // ok: the closure is its own scope and holds the lock
+		c.mu.Unlock()
+	}()
+}
+
+func (c *counterSet) BadClosure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.total++ // want `write of total is not preceded by c\.mu\.Lock`
+	}()
+}
+
+func newSet() *counterSet {
+	c := &counterSet{}
+	c.total = 1 // ok: value has not escaped yet
+	return c
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows []int // guarded by mu
+}
+
+func (r *table) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
+
+func (r *table) BadAppend(v int) {
+	r.mu.RLock()
+	r.rows = append(r.rows, v) // want `write of rows under r\.mu\.RLock`
+	r.mu.RUnlock()
+}
+
+func (r *table) GoodAppend(v int) {
+	r.mu.Lock()
+	r.rows = append(r.rows, v)
+	r.mu.Unlock()
+}
+
+func (r *table) Suppressed() int {
+	//lint:ignore lockcheck single-goroutine setup phase, no readers yet
+	return len(r.rows)
+}

@@ -23,24 +23,34 @@ func New(characterize bool) *Bank {
 
 // AddRSX increments the RSX counter; called by retirement logic when an
 // entry with both the R and C bits set commits.
+//
+//cryptojack:hotpath
 func (b *Bank) AddRSX(n uint64) { b.rsx += n }
 
 // RSX returns the cumulative RSX instruction count.
+//
+//cryptojack:hotpath
 func (b *Bank) RSX() uint64 { return b.rsx }
 
 // AddRetired records n retired instructions.
+//
+//cryptojack:hotpath
 func (b *Bank) AddRetired(n uint64) { b.retired += n }
 
 // Retired returns the cumulative retired instruction count.
 func (b *Bank) Retired() uint64 { return b.retired }
 
 // AddCycles advances the cycle counter.
+//
+//cryptojack:hotpath
 func (b *Bank) AddCycles(n uint64) { b.cycles += n }
 
 // Cycles returns the cumulative cycle count.
 func (b *Bank) Cycles() uint64 { return b.cycles }
 
 // AddBranchMiss records a branch misprediction.
+//
+//cryptojack:hotpath
 func (b *Bank) AddBranchMiss() { b.branchMiss++ }
 
 // BranchMisses returns the cumulative branch misprediction count.
@@ -48,6 +58,8 @@ func (b *Bank) BranchMisses() uint64 { return b.branchMiss }
 
 // CountOp records one retired instance of op in the characterization
 // histogram. No-op when characterization counters are disabled.
+//
+//cryptojack:hotpath
 func (b *Bank) CountOp(op isa.Op) {
 	if b.perOpOn {
 		b.perOp[op]++
@@ -56,6 +68,8 @@ func (b *Bank) CountOp(op isa.Op) {
 
 // AddOpCount records n retired instances of op in the characterization
 // histogram (bulk form used by rate-model workloads). No-op when disabled.
+//
+//cryptojack:hotpath
 func (b *Bank) AddOpCount(op isa.Op, n uint64) {
 	if b.perOpOn {
 		b.perOp[op] += n
@@ -66,6 +80,8 @@ func (b *Bank) AddOpCount(op isa.Op, n uint64) {
 func (b *Bank) OpCount(op isa.Op) uint64 { return b.perOp[op] }
 
 // Characterizing reports whether per-opcode counters are enabled.
+//
+//cryptojack:hotpath
 func (b *Bank) Characterizing() bool { return b.perOpOn }
 
 // Histogram returns a copy of the per-opcode histogram.

@@ -109,6 +109,8 @@ func (c *Core) Context() *ArchContext { return c.ctx }
 func (c *Core) Halted() bool { return c.ctx == nil || c.ctx.Halted }
 
 // tagTable returns the live decoder tag table.
+//
+//cryptojack:hotpath
 func (c *Core) tagTable() *microcode.TagTable {
 	if c.tags == nil {
 		return nil
@@ -119,6 +121,8 @@ func (c *Core) tagTable() *microcode.TagTable {
 // pagePtr translates addr to its backing page through the core-local TLB,
 // falling back to the shared (locked) page table on a miss. Absent pages
 // are not cached so that a pure load of untouched memory stays free.
+//
+//cryptojack:hotpath
 func (c *Core) pagePtr(addr uint64, create bool) *[mem.PageSize]byte {
 	idx := addr >> mem.PageBits
 	e := idx & tlbMask
@@ -136,6 +140,8 @@ func (c *Core) pagePtr(addr uint64, create bool) *[mem.PageSize]byte {
 }
 
 // load performs a data read on the hot execution path.
+//
+//cryptojack:hotpath
 func (c *Core) load(addr uint64, size int) uint64 {
 	off := addr & (mem.PageSize - 1)
 	if off+uint64(size) <= mem.PageSize {
@@ -158,6 +164,8 @@ func (c *Core) load(addr uint64, size int) uint64 {
 }
 
 // store performs a data write on the hot execution path.
+//
+//cryptojack:hotpath
 func (c *Core) store(addr uint64, v uint64, size int) {
 	off := addr & (mem.PageSize - 1)
 	if off+uint64(size) <= mem.PageSize {
@@ -199,6 +207,8 @@ func (c *Core) Run(maxInsts uint64) uint64 {
 // rate-based consumers still observe monotonic time. The tag table,
 // instruction slice, and observability switches are hoisted out of the
 // loop, and counter updates are batched to one add per Run call.
+//
+//cryptojack:hotpath
 func (c *Core) runFast(maxInsts uint64) uint64 {
 	ctx := c.ctx
 	code := ctx.Prog.Code
@@ -227,6 +237,7 @@ func (c *Core) runFast(maxInsts uint64) uint64 {
 			c.bank.CountOp(in.Op)
 		}
 		if observer != nil {
+			//lint:ignore hotpath observers are attached only for bounded tracing windows and accept the slowdown
 			observer.Retired(c.id, in)
 		}
 		if in.Op == isa.HALT {
@@ -240,7 +251,10 @@ func (c *Core) runFast(maxInsts uint64) uint64 {
 	return n
 }
 
-// fault halts the context with err recorded.
+// fault halts the context with err recorded (the acknowledged slow exit
+// from the execution loop).
+//
+//cryptojack:coldpath
 func (c *Core) fault(err error) {
 	c.ctx.Halted = true
 	if c.ctx.Fault == nil {
@@ -251,6 +265,8 @@ func (c *Core) fault(err error) {
 // exec executes one instruction functionally: registers, flags, memory and
 // PC are updated. It returns false if execution cannot continue (fault).
 // HALT returns true; the caller observes the opcode.
+//
+//cryptojack:hotpath
 func (c *Core) exec(in isa.Inst) bool {
 	ctx := c.ctx
 	r := &ctx.Regs
@@ -430,6 +446,7 @@ func (c *Core) exec(in isa.Inst) bool {
 	return true
 }
 
+//cryptojack:hotpath
 func addFlags(a, b, res uint64) Flags {
 	return Flags{
 		Z: res == 0,
@@ -439,6 +456,7 @@ func addFlags(a, b, res uint64) Flags {
 	}
 }
 
+//cryptojack:hotpath
 func subFlags(a, b, res uint64) Flags {
 	return Flags{
 		Z: res == 0,
@@ -448,10 +466,12 @@ func subFlags(a, b, res uint64) Flags {
 	}
 }
 
+//cryptojack:hotpath
 func logicFlags(res uint64) Flags {
 	return Flags{Z: res == 0, S: int64(res) < 0}
 }
 
+//cryptojack:hotpath
 func condTaken(op isa.Op, f Flags) bool {
 	switch op {
 	case isa.JE:

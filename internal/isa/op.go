@@ -125,6 +125,8 @@ func (o Op) String() string {
 }
 
 // Valid reports whether o is a defined opcode.
+//
+//cryptojack:hotpath
 func (o Op) Valid() bool {
 	return o > OpInvalid && o < numOps
 }

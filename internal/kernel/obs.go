@@ -184,6 +184,7 @@ func (m *kmetrics) observeAlertLatency() {
 	if len(m.crossTimes) == 0 {
 		return
 	}
+	//lint:ignore determinism host wall clock feeds the alert-latency metric only, never simulation state
 	now := time.Now()
 	for _, t0 := range m.crossTimes {
 		m.alertLatencyNs.Observe(uint64(now.Sub(t0)))
@@ -193,6 +194,8 @@ func (m *kmetrics) observeAlertLatency() {
 
 // traceTask records a spawn/exit event and bumps the matching counter.
 // Called under the kernel lock.
+//
+//cryptojack:locked
 func (k *Kernel) traceTask(kind obs.EventKind, t *Task) {
 	if k.om == nil {
 		return

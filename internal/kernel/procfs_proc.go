@@ -17,6 +17,8 @@ import (
 //	proc/<pid>/exempt      0/1: writing 1 stops monitoring the thread group
 
 // taskByPid finds a live task.
+//
+//cryptojack:locked
 func (k *Kernel) taskByPid(pid int) *Task {
 	for _, t := range k.tasks {
 		if t.Pid == pid && !t.exited {

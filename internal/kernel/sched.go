@@ -93,21 +93,21 @@ type placement struct {
 type Kernel struct {
 	machine  *cpu.CPU
 	cfg      Config
-	tunables Tunables
+	tunables Tunables // guarded by mu
 
-	nextPid int
-	tasks   []*Task
-	runq    []*Task
+	nextPid int     // guarded by mu
+	tasks   []*Task // guarded by mu
+	runq    []*Task // guarded by mu
 
-	now      time.Duration
-	coreLast []uint64 // last RSX counter reading per core
+	now      time.Duration // guarded by mu
+	coreLast []uint64      // last RSX counter reading per core
 
-	alerts  []Alert
+	alerts  []Alert // guarded by mu
 	onAlert func(Alert)
 	procfs  *ProcFS
 	// samples counts context-switch housekeeping invocations (for the
 	// overhead model).
-	samples uint64
+	samples uint64 // guarded by mu
 
 	// mu guards tasks, runq, alerts, samples, now, tunables, and all
 	// TgidRSX window state against the concurrent accessors above.
@@ -302,6 +302,7 @@ func (w *coreWorker) runSlices() {
 	last := k.coreLast[w.core]
 	var t0 time.Time
 	if k.om != nil {
+		//lint:ignore determinism host wall clock feeds the busy-time metric only, never simulation state
 		t0 = time.Now()
 	}
 	for i := range k.plan {
@@ -348,8 +349,8 @@ func (k *Kernel) startWorkers() (stop func()) {
 func (k *Kernel) Run(d time.Duration) {
 	stop := k.startWorkers()
 	defer stop()
-	end := k.now + d
-	for k.now < end {
+	end := k.Now() + d
+	for k.Now() < end {
 		k.quantum()
 	}
 }
@@ -361,9 +362,9 @@ func (k *Kernel) Run(d time.Duration) {
 func (k *Kernel) RunUntilAlert(d time.Duration) bool {
 	stop := k.startWorkers()
 	defer stop()
-	end := k.now + d
+	end := k.Now() + d
 	fired := 0
-	for k.now < end {
+	for k.Now() < end {
 		fired += k.quantum()
 		if fired > 0 {
 			return true
@@ -389,6 +390,7 @@ func (k *Kernel) quantum() int {
 	k.buildPlan()
 	var execStart time.Time
 	if k.om != nil {
+		//lint:ignore determinism host wall clock feeds the phase-timing metrics only, never simulation state
 		execStart = time.Now()
 		k.om.beginQuantum()
 	}
@@ -400,6 +402,7 @@ func (k *Kernel) quantum() int {
 		}
 		var waitStart time.Time
 		if k.om != nil {
+			//lint:ignore determinism host wall clock feeds the barrier-wait metric only, never simulation state
 			waitStart = time.Now()
 		}
 		k.workerWG.Wait()
@@ -411,6 +414,7 @@ func (k *Kernel) quantum() int {
 	}
 	var mergeStart time.Time
 	if k.om != nil {
+		//lint:ignore determinism host wall clock feeds the phase-timing metrics only, never simulation state
 		mergeStart = time.Now()
 	}
 	fired := k.merge()
@@ -435,6 +439,8 @@ func (k *Kernel) quantum() int {
 // task can occupy at most one core per quantum. A core packs tasks until
 // their slice shares fill the quantum: CPU-bound work claims a whole
 // core, while interactive (mostly I/O-blocked) tasks share one.
+//
+//cryptojack:locked
 func (k *Kernel) buildPlan() {
 	k.plan = k.plan[:0]
 	var pending *Task // task that did not fit the previous core
@@ -478,6 +484,7 @@ func (k *Kernel) runPlanSerial() {
 		core := k.machine.Core(p.core)
 		var t0 time.Time
 		if k.om != nil {
+			//lint:ignore determinism host wall clock feeds the busy-time metric only, never simulation state
 			t0 = time.Now()
 		}
 		p.task.workload.RunSlice(core, k.cfg.TimeSlice)
@@ -491,6 +498,8 @@ func (k *Kernel) runPlanSerial() {
 }
 
 // nextRunnable pops the next non-exited task from the ready queue.
+//
+//cryptojack:locked
 func (k *Kernel) nextRunnable() *Task {
 	for len(k.runq) > 0 {
 		t := k.runq[0]
@@ -507,6 +516,8 @@ func (k *Kernel) nextRunnable() *Task {
 // applies the sampled RSX delta to the shared tgid structure, performs the
 // window check, and rebuilds the ready queue. It returns the alerts raised
 // this quantum for post-unlock callback delivery.
+//
+//cryptojack:locked
 func (k *Kernel) merge() []Alert {
 	base := len(k.alerts)
 	for i := range k.plan {
@@ -526,6 +537,8 @@ func (k *Kernel) merge() []Alert {
 // sampled at execution time). The uid check comes first: "our solution
 // limits its monitoring to non-root processes ... by having the scheduler
 // check for a non-zero uid before performing any additional processing."
+//
+//cryptojack:locked
 func (k *Kernel) account(task *Task, delta uint64) {
 	if !k.tunables.Enabled {
 		return
@@ -552,6 +565,8 @@ func (k *Kernel) account(task *Task, delta uint64) {
 // checkWindow applies the monitoring-window logic to one accounting
 // structure: only a sustained stream of RSX instructions across the whole
 // period can trip the threshold, never a short-lived burst.
+//
+//cryptojack:locked
 func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, scope AlertScope) {
 	if switchTime-g.windowStart < k.tunables.Period {
 		return
@@ -584,6 +599,7 @@ func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, s
 			} else {
 				k.om.alertsProcess.Inc()
 			}
+			//lint:ignore determinism host wall clock feeds the alert-latency metric only, never simulation state
 			k.om.crossTimes = append(k.om.crossTimes, time.Now())
 			k.om.reg.Tracer().Record(obs.Event{
 				Time: switchTime, Kind: obs.EvAlert, Arg: uint64(task.Tgid), Note: task.Name,

@@ -32,6 +32,8 @@ func (g *TgidRSX) RSXCount() uint64 { return g.rsxCount.Load() }
 func (g *TgidRSX) ThreadCount() int64 { return g.tcount.Load() }
 
 // add accumulates sampled RSX instructions.
+//
+//cryptojack:hotpath
 func (g *TgidRSX) add(n uint64) { g.rsxCount.Add(n) }
 
 // Workload is what a task executes when scheduled. Implementations must

@@ -26,7 +26,7 @@ const pageSize = PageSize
 // addresses. Reset must not be called while cores are executing.
 type Memory struct {
 	mu    sync.RWMutex
-	pages map[uint64]*[pageSize]byte
+	pages map[uint64]*[pageSize]byte // guarded by mu
 }
 
 // NewMemory returns an empty memory.
@@ -54,6 +54,11 @@ func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 // PagePtr returns the stable backing page containing addr, allocating it
 // when create is set (nil when absent and !create). Callers may cache the
 // pointer: pages are never replaced until Reset.
+//
+// The per-core TLB (internal/cpu) is the hot path; this locked fallback
+// is its acknowledged slow path.
+//
+//cryptojack:coldpath
 func (m *Memory) PagePtr(addr uint64, create bool) *[PageSize]byte {
 	return m.page(addr, create)
 }
@@ -73,6 +78,7 @@ func (m *Memory) StoreByte(addr uint64, v byte) {
 
 // Read returns size bytes at addr as a little-endian unsigned integer.
 // size must be 1, 2, 4 or 8.
+//cryptojack:coldpath
 func (m *Memory) Read(addr uint64, size int) uint64 {
 	// Fast path: access within a single page.
 	off := addr & (pageSize - 1)
@@ -100,6 +106,7 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 }
 
 // Write stores size bytes of v at addr, little endian.
+//cryptojack:coldpath
 func (m *Memory) Write(addr uint64, v uint64, size int) {
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {

@@ -41,6 +41,8 @@ func (t *TagTable) Name() string {
 }
 
 // Tagged reports whether the decoder should set the RSX bit for op.
+//
+//cryptojack:hotpath
 func (t *TagTable) Tagged(op isa.Op) bool {
 	if t == nil || !op.Valid() {
 		return false

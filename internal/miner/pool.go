@@ -47,13 +47,13 @@ type Pool struct {
 
 	mu     sync.Mutex
 	chain  *Chain
-	jobSeq uint64
-	jobs   map[uint64]Header
-	stats  PoolStats
+	jobSeq uint64            // guarded by mu
+	jobs   map[uint64]Header // guarded by mu
+	stats  PoolStats         // guarded by mu
 
 	ln     net.Listener
 	wg     sync.WaitGroup
-	closed bool
+	closed bool // guarded by mu
 }
 
 // NewPool creates a pool over a fresh chain. shareTarget is the (easier)

@@ -17,7 +17,7 @@ type VarDiff struct {
 	MinTarget, MaxTarget uint64
 
 	mu    sync.Mutex
-	state map[string]*vardiffState
+	state map[string]*vardiffState // guarded by mu
 }
 
 type vardiffState struct {

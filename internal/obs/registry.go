@@ -56,6 +56,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//cryptojack:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -63,6 +65,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one.
+//
+//cryptojack:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 on a nil receiver).
@@ -81,6 +85,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//cryptojack:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -88,6 +94,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by delta (negative to decrease).
+//
+//cryptojack:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
 		g.v.Add(delta)
@@ -116,6 +124,8 @@ type Histogram struct {
 }
 
 // Observe records one value. No-op on a nil receiver.
+//
+//cryptojack:hotpath
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
@@ -156,9 +166,9 @@ func (h *Histogram) Sum() uint64 {
 // without coordination. Recording through handles never locks.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 	tracer   *Tracer
 }
 

@@ -73,8 +73,8 @@ func (e Event) String() string {
 // uncontended in practice. All methods are no-ops on a nil receiver.
 type Tracer struct {
 	mu    sync.Mutex
-	buf   []Event
-	next  uint64 // total events ever recorded
+	buf   []Event // guarded by mu
+	next  uint64  // guarded by mu; total events ever recorded
 	depth int
 }
 
