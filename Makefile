@@ -13,10 +13,13 @@ vet:
 	$(GO) vet ./...
 
 # Invariant linter: the internal/analysis suite (determinism, lockcheck,
-# atomiccheck, hotpath) run over the whole module. Zero findings is part
-# of the tier-1 gate; see DESIGN.md "Checked invariants".
+# locksetflow, lockorder, atomiccheck, hotpath, exhaustivedecode, ctrange)
+# run over the whole module, sharing one type-checked load and one call
+# graph. Zero findings is part of the tier-1 gate; -time reports the
+# per-analyzer wall time on stderr (recorded in OBSERVABILITY.md). See
+# DESIGN.md "Checked invariants".
 lint:
-	$(GO) run ./cmd/cryptojacklint ./...
+	$(GO) run ./cmd/cryptojacklint -time ./...
 
 build:
 	$(GO) build ./...

@@ -1,12 +1,16 @@
 // Command cryptojacklint is the reproduction's invariant linter: it runs
-// the internal/analysis suite (determinism, lockcheck, atomiccheck,
-// hotpath) over the module and reports every violation of the simulator's
-// machine-checked conventions. `make lint` wires it into the tier-1 gate;
-// DESIGN.md §5d catalogues the analyzers and their annotation syntax.
+// the internal/analysis suite (determinism, lockcheck, locksetflow,
+// lockorder, atomiccheck, hotpath, exhaustivedecode, ctrange) over the
+// module and reports every violation of the simulator's machine-checked
+// conventions. All analyzers share one type-checked load of the module;
+// the module-wide analyzers additionally share one call graph. `make
+// lint` wires it into the tier-1 gate; DESIGN.md §5d catalogues the
+// analyzers and their annotation syntax.
 //
 // Usage:
 //
-//	cryptojacklint [-only names] [-sim-pkgs substrings] [-list] [patterns]
+//	cryptojacklint [-only names] [-sim-pkgs substrings]
+//	               [-ctrange-pkgs substrings] [-time] [-list] [patterns]
 //
 // Patterns default to ./... (the whole module). Exit status is 1 when any
 // finding is reported, 2 on load or usage errors.
@@ -18,12 +22,17 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"darkarts/internal/analysis"
 	"darkarts/internal/analysis/atomiccheck"
+	"darkarts/internal/analysis/ctrange"
 	"darkarts/internal/analysis/determinism"
+	"darkarts/internal/analysis/exhaustivedecode"
 	"darkarts/internal/analysis/hotpath"
 	"darkarts/internal/analysis/lockcheck"
+	"darkarts/internal/analysis/lockorder"
+	"darkarts/internal/analysis/locksetflow"
 )
 
 // simPackagesDefault scopes the determinism analyzer to the simulation
@@ -31,6 +40,11 @@ import (
 // map-order nondeterminism elsewhere (CLI rendering, experiments) cannot
 // break the serial/parallel bit-identity guarantee.
 const simPackagesDefault = "internal/kernel,internal/cpu,internal/mem,internal/counters"
+
+// ctrangePackagesDefault scopes the value-range analyzer to the packages
+// doing counter arithmetic; range reasoning about CLI or experiment code
+// would only produce noise.
+const ctrangePackagesDefault = "internal/counters,internal/kernel"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -43,7 +57,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		only    = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 		simPkgs = fs.String("sim-pkgs", simPackagesDefault,
 			"comma-separated package-path substrings the determinism analyzer is scoped to")
-		list = fs.Bool("list", false, "list analyzers and exit")
+		ctrangePkgs = fs.String("ctrange-pkgs", ctrangePackagesDefault,
+			"comma-separated package-path substrings the ctrange analyzer is scoped to")
+		timing = fs.Bool("time", false, "report per-analyzer wall time on stderr")
+		list   = fs.Bool("list", false, "list analyzers and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,12 +69,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	all := []*analysis.Analyzer{
 		determinism.Analyzer,
 		lockcheck.Analyzer,
+		locksetflow.Analyzer,
+		lockorder.Analyzer,
 		atomiccheck.Analyzer,
 		hotpath.Analyzer,
+		exhaustivedecode.Analyzer,
+		ctrange.Analyzer,
 	}
 	if *list {
 		for _, a := range all {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-17s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -114,12 +135,17 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	sims := strings.Split(*simPkgs, ",")
+	// Package-scoped analyzers: everything else runs everywhere.
+	scopes := map[string][]string{
+		determinism.Analyzer.Name: strings.Split(*simPkgs, ","),
+		ctrange.Analyzer.Name:     strings.Split(*ctrangePkgs, ","),
+	}
 	filter := func(a *analysis.Analyzer, pkgPath string) bool {
-		if a.Name != determinism.Analyzer.Name {
+		scope, scoped := scopes[a.Name]
+		if !scoped {
 			return true
 		}
-		for _, s := range sims {
+		for _, s := range scope {
 			if s = strings.TrimSpace(s); s != "" && strings.Contains(pkgPath, s) {
 				return true
 			}
@@ -127,10 +153,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		return false
 	}
 
-	findings, err := analysis.Run(pkgs, analyzers, loader.Dirs, filter)
+	findings, timings, err := analysis.RunTimed(pkgs, analyzers, loader.Dirs, filter)
 	if err != nil {
 		fmt.Fprintf(stderr, "cryptojacklint: %v\n", err)
 		return 2
+	}
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "cryptojacklint: %-17s %s\n", tm.Analyzer, tm.Elapsed.Round(10*time.Microsecond))
+		}
 	}
 	for _, f := range findings {
 		name := f.Pos.Filename

@@ -25,7 +25,7 @@ func buildLint(t *testing.T) string {
 // analyzer, the //lint:ignore site absent, exit status 1.
 func TestVictimFixture(t *testing.T) {
 	bin := buildLint(t)
-	cmd := exec.Command(bin, "-sim-pkgs=victim", "testdata/src/victim")
+	cmd := exec.Command(bin, "-sim-pkgs=victim", "-ctrange-pkgs=victim", "testdata/src/victim")
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &stdout, &stderr
 
@@ -48,7 +48,7 @@ func TestVictimFixture(t *testing.T) {
 }
 
 // TestAnnotatedTreeClean is the acceptance gate in test form: the whole
-// annotated module must lint clean with all four analyzers.
+// annotated module must lint clean with all eight analyzers.
 func TestAnnotatedTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module lint is a few seconds; skipped in -short")
@@ -73,7 +73,10 @@ func TestListFlag(t *testing.T) {
 	if err != nil {
 		t.Fatalf("cryptojacklint -list: %v\n%s", err, out)
 	}
-	for _, name := range []string{"determinism", "lockcheck", "atomiccheck", "hotpath"} {
+	for _, name := range []string{
+		"determinism", "lockcheck", "locksetflow", "lockorder",
+		"atomiccheck", "hotpath", "exhaustivedecode", "ctrange",
+	} {
 		if !bytes.Contains(out, []byte(name)) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}

@@ -56,3 +56,82 @@ func (m *miner) HashesSettled() uint64 {
 func (m *miner) step(n uint64) string {
 	return fmt.Sprintf("step-%d", n)
 }
+
+type vault struct {
+	mu    sync.Mutex
+	coins uint64 // guarded by mu
+}
+
+// Coins seeds a locksetflow violation the lexical lockcheck cannot see:
+// the lock is taken on one branch only, so it is not held on every path
+// to the access, but a source-order scan sees the Lock call first and
+// stays quiet.
+func (v *vault) Coins(audit bool) uint64 {
+	if audit {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+	}
+	return v.coins
+}
+
+type ledger struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+type journal struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+var led ledger
+var jrn journal
+
+// Post seeds one leg of a lockorder cycle: ledger.mu → journal.mu...
+func Post() {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	jrn.mu.Lock()
+	jrn.n++
+	jrn.mu.Unlock()
+}
+
+// Reconcile seeds the other leg: journal.mu → ledger.mu. Two goroutines
+// running Post and Reconcile concurrently can deadlock.
+func Reconcile() {
+	jrn.mu.Lock()
+	defer jrn.mu.Unlock()
+	led.mu.Lock()
+	led.n++
+	led.mu.Unlock()
+}
+
+type stage uint8
+
+const (
+	stageFetch stage = iota
+	stageDecode
+	stageExecute
+)
+
+// Advance seeds an exhaustivedecode violation: the switch handles two of
+// the three pipeline stages and has no default.
+func Advance(s stage) stage {
+	switch s {
+	case stageFetch:
+		return stageDecode
+	case stageDecode:
+		return stageExecute
+	}
+	return stageFetch
+}
+
+// Throttle seeds a ctrange violation: a 32-bit accumulator fed full-range
+// 32-bit samples wraps long before the monitoring window closes.
+func Throttle(samples []uint32) uint32 {
+	var acc uint32
+	for _, s := range samples {
+		acc += s
+	}
+	return acc
+}

@@ -16,8 +16,14 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by cryptojacklint -help.
 	Doc string
-	// Run reports the analyzer's diagnostics for one package.
+	// Run reports the analyzer's diagnostics for one package. Exactly one
+	// of Run and RunModule must be set.
 	Run func(*Pass) error
+	// RunModule reports diagnostics computed over the whole loaded
+	// module at once — for analyses whose facts cross package boundaries
+	// (the lock-acquisition-order graph, interprocedural locksets). It
+	// runs once per invocation, not once per package.
+	RunModule func(*ModulePass) error
 }
 
 // Diagnostic is one finding at a source position.
@@ -44,5 +50,25 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ModulePass carries a module-wide analyzer's view of every loaded target
+// package plus the shared call graph.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are the loaded target packages, sorted by import path.
+	Pkgs []*Package
+	// Graph is the module call graph, built once per driver invocation
+	// and shared by every module analyzer.
+	Graph *CallGraph
+	Dirs  *Directives
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }

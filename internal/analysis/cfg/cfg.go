@@ -1,0 +1,419 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and solves forward dataflow problems on them. It is the
+// flow-sensitive substrate under the lockorder and locksetflow analyzers:
+// where the PR-3 lexical scans approximated control flow with a
+// "terminating branch" heuristic, a CFG makes branch-leaked locks and
+// two-path acquisition orders first-class.
+//
+// The graph is statement-granular with two refinements:
+//
+//   - short-circuit conditions are decomposed: in `if a && b`, the
+//     evaluation of b gets its own block reachable only when a is true,
+//     so side effects in b (a TryLock, a guarded read) are correctly
+//     conditional;
+//   - function literals are opaque: a closure's body is a separate
+//     analysis scope with its own CFG (FuncLits walks them), and the
+//     enclosing graph only sees the literal as a value.
+//
+// Deferred calls never appear as ordinary nodes; they are collected into
+// Graph.Defers because they run at function exit, not at the defer
+// statement. Panic/recover edges are not modelled: a panic aborts the
+// whole simulation anyway, so lock state after one is irrelevant.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: a maximal sequence of AST nodes (statements
+// and decomposed condition expressions) executed without internal control
+// transfer, plus successor edges.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable across runs;
+	// blocks are created in syntactic order).
+	Index int
+	// Nodes are the statements and condition expressions evaluated in
+	// order when the block executes.
+	Nodes []ast.Node
+	// Succs are the possible successors.
+	Succs []*Block
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	// Entry is executed first; Exit is the single synthetic exit block
+	// every return and fallen-off-the-end path reaches.
+	Entry, Exit *Block
+	Blocks      []*Block
+	// Defers are the defer statements of the body, in syntactic order.
+	// Their calls run at Exit (in reverse order), not at their statement
+	// position.
+	Defers []*ast.DeferStmt
+}
+
+// builder carries the per-function construction state.
+type builder struct {
+	g *Graph
+	// breaks / continues map the innermost (and labeled) enclosing
+	// loop/switch/select to the block control transfers to.
+	breaks    []branchTarget
+	continues []branchTarget
+	// labels maps label names to goto targets, patched after the walk.
+	labels map[string]*Block
+	// pendingGotos are goto statements seen before their label.
+	pendingGotos []pendingGoto
+	// pendingLabel is the label of the LabeledStmt currently being
+	// lowered; the loop or switch it labels consumes it so that labeled
+	// break/continue resolve.
+	pendingLabel string
+	// marks records the break/continue stack depths at each pushTargets
+	// so popTargets restores them exactly.
+	marks [][2]int
+}
+
+type branchTarget struct {
+	label string // "" for the innermost unlabeled target
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*Block{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	last := b.stmts(body.List, b.g.Entry)
+	b.edge(last, b.g.Exit)
+	for _, pg := range b.pendingGotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		}
+	}
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge adds from→to unless from is nil (unreachable) or the edge exists.
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur, returning the block
+// control falls out of (nil when the list always transfers away).
+func (b *builder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt extends the graph with s starting at cur and returns the
+// fallthrough block (nil when s never falls through).
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	if cur == nil {
+		// Unreachable code still gets blocks (so its nodes exist for
+		// clients that iterate all blocks) but no inbound edges.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		thenBlk := b.newBlock()
+		elseBlk := b.newBlock()
+		b.cond(s.Cond, cur, thenBlk, elseBlk)
+		after := b.newBlock()
+		if end := b.stmts(s.Body.List, thenBlk); end != nil {
+			b.edge(end, after)
+		}
+		if s.Else != nil {
+			if end := b.stmt(s.Else, elseBlk); end != nil {
+				b.edge(end, after)
+			}
+		} else {
+			b.edge(elseBlk, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.cond(s.Cond, head, body, after)
+		} else {
+			b.edge(head, body)
+		}
+		b.pushTargets(label, after, head)
+		end := b.stmts(s.Body.List, body)
+		b.popTargets()
+		post := end
+		if s.Post != nil && end != nil {
+			post = b.stmt(s.Post, end)
+		}
+		b.edge(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		// The ranged expression is evaluated once, in cur.
+		if s.X != nil {
+			cur.Nodes = append(cur.Nodes, s.X)
+		}
+		b.edge(cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after) // zero iterations
+		b.pushTargets(label, after, head)
+		end := b.stmts(s.Body.List, body)
+		b.popTargets()
+		b.edge(end, head)
+		return after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.caseClauses(s.Body.List, cur, label, !hasDefaultClause(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.caseClauses(s.Body.List, cur, label, !hasDefaultClause(s.Body.List))
+
+	case *ast.SelectStmt:
+		return b.caseClauses(s.Body.List, cur, b.takeLabel(), false)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			b.edge(cur, b.findTarget(b.breaks, label))
+			return nil
+		case "continue":
+			b.edge(cur, b.findTarget(b.continues, label))
+			return nil
+		case "goto":
+			if target, ok := b.labels[label]; ok {
+				b.edge(cur, target)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{from: cur, label: label})
+			}
+			return nil
+		case "fallthrough":
+			// Handled by caseClauses; as a bare statement it ends the block.
+			return cur
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		b.labels[s.Label.Name] = head
+		b.pendingLabel = s.Label.Name
+		end := b.stmt(s.Stmt, head)
+		b.pendingLabel = ""
+		return end
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		return cur
+
+	case *ast.GoStmt:
+		// The spawned function runs concurrently with its own CFG; only
+		// the call's argument evaluation happens here.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// caseClauses wires a switch/type-switch/select body: every clause starts
+// a fresh block reachable from cur; reachable indicates whether control can
+// skip all clauses (a switch with no default).
+func (b *builder) caseClauses(clauses []ast.Stmt, cur *Block, label string, noDefault bool) *Block {
+	after := b.newBlock()
+	b.pushTargets(label, after, nil)
+	var prevBody []ast.Stmt
+	var prevEnd *Block
+	for _, c := range clauses {
+		var body []ast.Stmt
+		var exprs []ast.Expr
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			body, exprs = c.Body, c.List
+		case *ast.CommClause:
+			body = c.Body
+			if c.Comm != nil {
+				body = append([]ast.Stmt{c.Comm}, body...)
+			}
+		}
+		for _, e := range exprs {
+			cur.Nodes = append(cur.Nodes, e)
+		}
+		blk := b.newBlock()
+		b.edge(cur, blk)
+		// A previous clause ending in fallthrough continues here.
+		if prevEnd != nil && endsInFallthrough(prevBody) {
+			b.edge(prevEnd, blk)
+		}
+		end := b.stmts(body, blk)
+		if end != nil && !endsInFallthrough(body) {
+			b.edge(end, after)
+		}
+		prevBody, prevEnd = body, end
+	}
+	b.popTargets()
+	if noDefault || len(clauses) == 0 {
+		b.edge(cur, after)
+	}
+	return after
+}
+
+// cond wires the evaluation of a condition expression from cur to the
+// true/false successor blocks, decomposing short-circuit operators so the
+// right operand's effects are correctly conditional.
+func (b *builder) cond(e ast.Expr, cur, t, f *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, cur, t, f)
+		return
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			mid := b.newBlock()
+			b.cond(e.X, cur, mid, f)
+			b.cond(e.Y, mid, t, f)
+			return
+		case "||":
+			mid := b.newBlock()
+			b.cond(e.X, cur, t, mid)
+			b.cond(e.Y, mid, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op.String() == "!" {
+			b.cond(e.X, cur, f, t)
+			return
+		}
+	}
+	cur.Nodes = append(cur.Nodes, e)
+	b.edge(cur, t)
+	b.edge(cur, f)
+}
+
+// pushTargets registers the break (and, for loops, continue) destinations
+// of one loop/switch/select; popTargets undoes exactly one push.
+func (b *builder) pushTargets(label string, brk, cont *Block) {
+	b.marks = append(b.marks, [2]int{len(b.breaks), len(b.continues)})
+	b.breaks = append(b.breaks, branchTarget{"", brk})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label, brk})
+	}
+	if cont != nil {
+		b.continues = append(b.continues, branchTarget{"", cont})
+		if label != "" {
+			b.continues = append(b.continues, branchTarget{label, cont})
+		}
+	}
+}
+
+func (b *builder) popTargets() {
+	m := b.marks[len(b.marks)-1]
+	b.marks = b.marks[:len(b.marks)-1]
+	b.breaks = b.breaks[:m[0]]
+	b.continues = b.continues[:m[1]]
+}
+
+// findTarget resolves a break/continue to its destination ("" = innermost).
+func (b *builder) findTarget(ts []branchTarget, label string) *Block {
+	for i := len(ts) - 1; i >= 0; i-- {
+		if ts[i].label == label {
+			return ts[i].block
+		}
+	}
+	// Malformed (vet catches it); fall out of the function.
+	return b.g.Exit
+}
+
+// takeLabel consumes the pending label set by the enclosing LabeledStmt
+// (each label applies to exactly one statement).
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// FuncLits returns every function literal in body, outermost first. Each
+// is a separate analysis scope: build its CFG with New(lit.Body).
+func FuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}

@@ -1,0 +1,73 @@
+package cfg
+
+import "go/ast"
+
+// Lattice defines one forward dataflow problem over a Graph. F is the
+// fact type flowing along edges (a lockset, an interval environment, ...).
+// Implementations must treat facts as immutable: Transfer and Join return
+// new values (or unmodified inputs) rather than mutating their arguments,
+// because the solver aliases facts across blocks.
+type Lattice[F any] interface {
+	// Join combines the facts of two incoming edges at a merge point.
+	// For a must-analysis this is intersection, for a may-analysis union.
+	Join(a, b F) F
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b F) bool
+	// Transfer produces the fact after executing one CFG node given the
+	// fact before it.
+	Transfer(n ast.Node, before F) F
+}
+
+// Solve runs the worklist algorithm forward from g.Entry with the given
+// entry fact and returns the fact at the start of every reachable block.
+// Unreachable blocks are absent from the result map. The iteration order
+// is deterministic (blocks are numbered in syntactic order and the
+// worklist is a FIFO seeded and extended in that order), so two runs over
+// the same function produce identical results — a requirement for stable
+// diagnostics.
+func Solve[F any](g *Graph, entry F, l Lattice[F]) map[*Block]F {
+	in := map[*Block]F{g.Entry: entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		fact := in[blk]
+		for _, n := range blk.Nodes {
+			fact = l.Transfer(n, fact)
+		}
+		for _, succ := range blk.Succs {
+			prev, seen := in[succ]
+			next := fact
+			if seen {
+				next = l.Join(prev, fact)
+				if l.Equal(prev, next) {
+					continue
+				}
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// FactAt replays the transfer function over blk's nodes up to (but not
+// including) node, starting from blk's in-fact. Clients use it to get the
+// fact holding at a specific statement for diagnostics.
+func FactAt[F any](blk *Block, in F, l Lattice[F], node ast.Node) F {
+	fact := in
+	for _, n := range blk.Nodes {
+		if n == node {
+			break
+		}
+		fact = l.Transfer(n, fact)
+	}
+	return fact
+}

@@ -1,0 +1,334 @@
+// Package ctrange is a value-range analysis over counter arithmetic. The
+// defense's decision logic is ratios of hardware-counter deltas sampled
+// once per monitoring window; a counter that silently wraps between two
+// samples turns a cryptomining signature into noise. Two shapes of wrap
+// are caught with a conservative interval evaluator:
+//
+//   - narrowing conversions: uint32(x) where x's interval is not provably
+//     within uint32's range truncates — only conversions whose operand is
+//     masked, reduced, or otherwise bounded into the target range pass;
+//   - threshold-scale accumulation: x += e (or x = x + e, x++) into an
+//     integer of 32 bits or fewer, where e's maximum times the number of
+//     scheduler slices in one monitoring window exceeds the accumulator's
+//     range — the counter can wrap before the window closes, so deltas
+//     computed from it are meaningless.
+//
+// Intervals are syntactic and per-expression: constants are exact,
+// variables span their type, and masks (&), shifts (>>), remainders (%),
+// and divisions by constants tighten the bound. No branch conditions are
+// tracked — a bound that only a preceding if establishes does not count,
+// which is the right bias for code whose wraps must be impossible, not
+// merely unlikely.
+package ctrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math/big"
+
+	"darkarts/internal/analysis"
+)
+
+// Analyzer reports counter arithmetic that can wrap.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctrange",
+	Doc:  "report narrowing conversions and window-scale accumulations whose value range can wrap the target integer type",
+	Run:  run,
+}
+
+// windowSlices is how many scheduler slices one monitoring window spans:
+// the paper samples counters once per minute and the simulated kernel
+// runs 4ms quanta, so a per-slice accumulation executes ~15000 times
+// between two samples.
+const windowSlices = 15000
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC {
+					checkAccumulate(pass, n.X, one, n.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var one = big.NewInt(1)
+
+// interval is an inclusive integer range. A nil bound means unknown in
+// that direction.
+type interval struct {
+	lo, hi *big.Int
+}
+
+func exact(v *big.Int) interval { return interval{lo: v, hi: v} }
+
+// checkConversion flags T(x) where T is a basic integer narrower than x's
+// type and x's interval is not provably within T's range.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst, ok := basicInt(tv.Type)
+	if !ok {
+		return
+	}
+	arg := call.Args[0]
+	src, ok := basicInt(pass.TypesInfo.Types[arg].Type)
+	if !ok {
+		return
+	}
+	if !narrower(dst, src) {
+		return
+	}
+	iv := eval(pass, arg)
+	lo, hi := typeRange(dst)
+	if iv.lo != nil && iv.hi != nil && iv.lo.Cmp(lo) >= 0 && iv.hi.Cmp(hi) <= 0 {
+		return // provably in range
+	}
+	pass.Reportf(call.Pos(), "narrowing conversion %s(%s) can truncate: operand range is not provably within %s; mask or bound the value first",
+		dst.Name(), render(arg), dst.Name())
+}
+
+// checkAssign handles x += e and x = x + e / x = e + x.
+func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := assign.Lhs[0], assign.Rhs[0]
+	switch assign.Tok {
+	case token.ADD_ASSIGN:
+		checkAccumulate(pass, lhs, evalMax(pass, rhs), assign.Pos())
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return
+		}
+		target := analysis.RenderChain(lhs)
+		if target == "" {
+			return
+		}
+		switch {
+		case analysis.RenderChain(bin.X) == target:
+			checkAccumulate(pass, lhs, evalMax(pass, bin.Y), assign.Pos())
+		case analysis.RenderChain(bin.Y) == target:
+			checkAccumulate(pass, lhs, evalMax(pass, bin.X), assign.Pos())
+		}
+	default:
+		// Other assignment operators do not accumulate.
+	}
+}
+
+// checkAccumulate flags accumulation into a ≤32-bit integer when the
+// per-step maximum times windowSlices exceeds the accumulator's range.
+func checkAccumulate(pass *analysis.Pass, lhs ast.Expr, stepMax *big.Int, pos token.Pos) {
+	if stepMax == nil || stepMax.Sign() <= 0 {
+		return
+	}
+	b, ok := basicInt(pass.TypesInfo.Types[lhs].Type)
+	if !ok || width(b) > 32 {
+		return
+	}
+	_, hi := typeRange(b)
+	growth := new(big.Int).Mul(stepMax, big.NewInt(windowSlices))
+	if growth.Cmp(hi) <= 0 {
+		return
+	}
+	pass.Reportf(pos, "accumulation into %s %s can wrap within one monitoring window: up to %s per slice × %d slices exceeds %s's range; use uint64",
+		b.Name(), render(lhs), stepMax.String(), windowSlices, b.Name())
+}
+
+// evalMax returns the upper bound of e's interval, or nil if unbounded.
+func evalMax(pass *analysis.Pass, e ast.Expr) *big.Int {
+	return eval(pass, e).hi
+}
+
+// eval computes a conservative interval for e.
+func eval(pass *analysis.Pass, e ast.Expr) interval {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if v, ok := constVal(tv.Value.ExactString()); ok {
+			return exact(v)
+		}
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		return evalBinary(pass, x)
+	case *ast.CallExpr:
+		// A conversion's result lies within the target type's range (it
+		// wraps into it); tighter if the operand already fits.
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			if dst, ok := basicInt(tv.Type); ok {
+				lo, hi := typeRange(dst)
+				iv := eval(pass, x.Args[0])
+				if iv.lo != nil && iv.hi != nil && iv.lo.Cmp(lo) >= 0 && iv.hi.Cmp(hi) <= 0 {
+					return iv
+				}
+				return interval{lo: lo, hi: hi}
+			}
+		}
+	}
+	if b, ok := basicInt(pass.TypesInfo.Types[e].Type); ok {
+		lo, hi := typeRange(b)
+		return interval{lo: lo, hi: hi}
+	}
+	return interval{}
+}
+
+func evalBinary(pass *analysis.Pass, bin *ast.BinaryExpr) interval {
+	a := eval(pass, bin.X)
+	b := eval(pass, bin.Y)
+	bounded := a.lo != nil && a.hi != nil && b.lo != nil && b.hi != nil
+	switch bin.Op {
+	case token.ADD:
+		if bounded {
+			return interval{lo: new(big.Int).Add(a.lo, b.lo), hi: new(big.Int).Add(a.hi, b.hi)}
+		}
+	case token.SUB:
+		if bounded {
+			return interval{lo: new(big.Int).Sub(a.lo, b.hi), hi: new(big.Int).Sub(a.hi, b.lo)}
+		}
+	case token.MUL:
+		if bounded {
+			ps := []*big.Int{
+				new(big.Int).Mul(a.lo, b.lo), new(big.Int).Mul(a.lo, b.hi),
+				new(big.Int).Mul(a.hi, b.lo), new(big.Int).Mul(a.hi, b.hi),
+			}
+			lo, hi := ps[0], ps[0]
+			for _, p := range ps[1:] {
+				if p.Cmp(lo) < 0 {
+					lo = p
+				}
+				if p.Cmp(hi) > 0 {
+					hi = p
+				}
+			}
+			return interval{lo: lo, hi: hi}
+		}
+	case token.AND:
+		// x & c for non-negative x and constant c bounds the result to
+		// [0, c].
+		if c := constOperand(pass, bin); c != nil && c.Sign() >= 0 {
+			return interval{lo: big.NewInt(0), hi: c}
+		}
+	case token.REM:
+		if c := evalConst(pass, bin.Y); c != nil && c.Sign() > 0 && nonNegative(a) {
+			return interval{lo: big.NewInt(0), hi: new(big.Int).Sub(c, one)}
+		}
+	case token.QUO:
+		if c := evalConst(pass, bin.Y); c != nil && c.Sign() > 0 && bounded && nonNegative(a) {
+			return interval{lo: new(big.Int).Quo(a.lo, c), hi: new(big.Int).Quo(a.hi, c)}
+		}
+	case token.SHR:
+		if c := evalConst(pass, bin.Y); c != nil && c.IsUint64() && bounded && nonNegative(a) {
+			sh := uint(c.Uint64())
+			if sh < 1024 {
+				return interval{lo: new(big.Int).Rsh(a.lo, sh), hi: new(big.Int).Rsh(a.hi, sh)}
+			}
+		}
+	default:
+		// Other operators get the type-range fallback below.
+	}
+	// Fall back to the expression's own type range.
+	if bb, ok := basicInt(pass.TypesInfo.Types[bin].Type); ok {
+		lo, hi := typeRange(bb)
+		return interval{lo: lo, hi: hi}
+	}
+	return interval{}
+}
+
+// constOperand returns the constant side of a commutative binary op whose
+// other side is non-constant, or nil.
+func constOperand(pass *analysis.Pass, bin *ast.BinaryExpr) *big.Int {
+	if c := evalConst(pass, bin.Y); c != nil {
+		return c
+	}
+	return evalConst(pass, bin.X)
+}
+
+// evalConst returns e's exact constant value, or nil.
+func evalConst(pass *analysis.Pass, e ast.Expr) *big.Int {
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]; ok && tv.Value != nil {
+		if v, ok := constVal(tv.Value.ExactString()); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func constVal(s string) (*big.Int, bool) {
+	v, ok := new(big.Int).SetString(s, 10)
+	return v, ok
+}
+
+func nonNegative(iv interval) bool { return iv.lo != nil && iv.lo.Sign() >= 0 }
+
+// basicInt unwraps t to a basic integer type (through named types).
+func basicInt(t types.Type) (*types.Basic, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 || b.Info()&types.IsUntyped != 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// width returns the bit width of a basic integer type; int, uint, and
+// uintptr count as 64 (the simulator targets 64-bit hosts).
+func width(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+func signed(b *types.Basic) bool { return b.Info()&types.IsUnsigned == 0 }
+
+// narrower reports whether converting src → dst reduces width and so can
+// drop value bits. Same-width signedness changes (uint64 ↔ int64) are
+// deliberate reinterpretations in this codebase (durations and ids fed to
+// metrics) and are not flagged.
+func narrower(dst, src *types.Basic) bool {
+	return width(dst) < width(src)
+}
+
+// typeRange returns [min, max] of a basic integer type.
+func typeRange(b *types.Basic) (*big.Int, *big.Int) {
+	w := width(b)
+	if signed(b) {
+		hi := new(big.Int).Lsh(one, uint(w-1))
+		return new(big.Int).Neg(hi), new(big.Int).Sub(hi, one)
+	}
+	hi := new(big.Int).Lsh(one, uint(w))
+	return big.NewInt(0), new(big.Int).Sub(hi, one)
+}
+
+// render names the expression for diagnostics, falling back when the
+// chain is impure.
+func render(e ast.Expr) string {
+	if s := analysis.RenderChain(e); s != "" {
+		return s
+	}
+	return "value"
+}

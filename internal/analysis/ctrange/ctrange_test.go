@@ -1,0 +1,13 @@
+package ctrange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/ctrange"
+)
+
+func TestRange(t *testing.T) {
+	analysistest.Run(t, ctrange.Analyzer, filepath.Join("testdata", "src", "ctr"))
+}

@@ -1,0 +1,85 @@
+// Package ctr is the ctrange fixture: counter arithmetic that can wrap
+// within a monitoring window, next to the bounded shapes that must pass.
+package ctr
+
+type sample struct {
+	retired uint32
+	cycles  uint64
+}
+
+// wrap32 is the seeded bug: a 32-bit accumulator fed full-range 32-bit
+// samples wraps long before the window closes.
+func wrap32(samples []uint32) uint32 {
+	var acc uint32
+	for _, s := range samples {
+		acc += s // want `accumulation into uint32 acc can wrap within one monitoring window`
+	}
+	return acc
+}
+
+// wrapRebind hits the x = x + e spelling.
+func wrapRebind(s *sample, v uint32) {
+	s.retired = s.retired + v // want `accumulation into uint32 s\.retired can wrap`
+}
+
+// wrapTinyInc: even x++ wraps a 8-bit counter inside one window.
+func wrapTinyInc() uint8 {
+	var n uint8
+	for i := 0; i < 100000; i++ {
+		n++ // want `accumulation into uint8 n can wrap`
+	}
+	return n
+}
+
+// safe64 accumulates into 64 bits: cannot wrap in one window.
+func safe64(samples []uint32) uint64 {
+	var acc uint64
+	for _, s := range samples {
+		acc += uint64(s)
+	}
+	return acc
+}
+
+// safeBoundedStep adds a masked step: 255 × 15000 fits in uint32.
+func safeBoundedStep(samples []uint32) uint32 {
+	var acc uint32
+	for _, s := range samples {
+		acc += s & 0xff
+	}
+	return acc
+}
+
+// narrow truncates: the full uint64 range does not fit in uint32.
+func narrow(n uint64) uint32 {
+	return uint32(n) // want `narrowing conversion uint32\(n\) can truncate`
+}
+
+// narrowMasked is provably in range: the mask bounds the operand.
+func narrowMasked(n uint64) uint32 {
+	return uint32(n & 0xffff)
+}
+
+// narrowMod is provably in range: the remainder bounds the operand.
+func narrowMod(n uint64) uint16 {
+	return uint16(n % 1024)
+}
+
+// narrowShift is provably in range after dropping 40 bits.
+func narrowShift(n uint64) uint32 {
+	return uint32(n >> 40)
+}
+
+// widen is not a narrowing at all.
+func widen(n uint32) uint64 {
+	return uint64(n)
+}
+
+// signChange at equal width is a reinterpretation, not a narrowing.
+func signChange(n uint64) int64 {
+	return int64(n)
+}
+
+// narrowSigned reduces width on the signed side.
+func narrowSigned(n int64) int32 {
+	return int32(n) // want `narrowing conversion int32\(n\) can truncate`
+}

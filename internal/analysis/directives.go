@@ -42,6 +42,11 @@ var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z0-9_,]+)\s+\S`)
 type Directives struct {
 	funcs   map[types.Object]map[string]bool // func → directive set
 	guarded map[types.Object]string          // struct field → mutex field name
+	// guardObj maps a guarded field to its guard's own field object (the
+	// sibling mutex), resolved at collection time so flow-sensitive
+	// analyzers can key locksets on object identity instead of rendered
+	// chains.
+	guardObj map[types.Object]types.Object
 	// suppress maps filename → line → analyzer names suppressed there.
 	suppress map[string]map[int]map[string]bool
 }
@@ -50,6 +55,7 @@ func newDirectives() *Directives {
 	return &Directives{
 		funcs:    map[types.Object]map[string]bool{},
 		guarded:  map[types.Object]string{},
+		guardObj: map[types.Object]types.Object{},
 		suppress: map[string]map[int]map[string]bool{},
 	}
 }
@@ -74,6 +80,17 @@ func (d *Directives) GuardOf(field types.Object) (string, bool) {
 // GuardedFields returns every annotated field object (package-merge order;
 // callers must not depend on ordering).
 func (d *Directives) GuardedFields() map[types.Object]string { return d.guarded }
+
+// GuardObjOf returns the object of the mutex field guarding field — the
+// sibling struct field the `// guarded by` annotation names. It is absent
+// when the named guard is not a field of the same struct.
+func (d *Directives) GuardObjOf(field types.Object) (types.Object, bool) {
+	if d == nil {
+		return nil, false
+	}
+	g, ok := d.guardObj[field]
+	return g, ok
+}
 
 // Suppressed reports whether a diagnostic from analyzer at position pos is
 // covered by a //lint:ignore comment on the same or the preceding line.
@@ -154,13 +171,29 @@ func (d *Directives) collect(fset *token.FileSet, file *ast.File, info *types.In
 				if guard == "" {
 					continue
 				}
+				guardField := structField(n, guard, info)
 				for _, name := range f.Names {
 					if obj := info.Defs[name]; obj != nil {
 						d.guarded[obj] = guard
+						if guardField != nil {
+							d.guardObj[obj] = guardField
+						}
 					}
 				}
 			}
 		}
 		return true
 	})
+}
+
+// structField finds the object of st's field named name.
+func structField(st *ast.StructType, name string, info *types.Info) types.Object {
+	for _, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return info.Defs[id]
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,159 @@
+// Package exhaustivedecode enforces exhaustive switches over enum-like
+// types. The simulator's decode paths switch over isa.Op in several
+// packages; a new opcode added to the ISA must either be handled in every
+// such switch or fall into an explicit default — silently decoding to the
+// zero behavior is exactly the kind of drift that lets an evasion-variant
+// opcode slip past the classifier.
+//
+// A type is enum-like when it is a defined (named) basic integer type with
+// at least two package-level constants. A switch over such a type must
+// have a default clause or cover every declared constant visible at the
+// switch (exported constants always; unexported ones only when the switch
+// sits in the defining package — a foreign switch cannot name them, so an
+// unexported sentinel like numOps never makes a foreign switch
+// inexhaustive, but such switches then need a default to pass). Coverage
+// is by constant value, so aliases count.
+package exhaustivedecode
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"darkarts/internal/analysis"
+)
+
+// Analyzer enforces exhaustive enum switches.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustivedecode",
+	Doc:  "switches over enum-like defined integer types must cover every declared constant or have a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	decl := named.Obj().Pkg()
+	if decl == nil {
+		return
+	}
+
+	// The required constant set: every package-level constant of the tag
+	// type visible from the switch, keyed by value.
+	sameVisibility := decl == pass.Pkg
+	required := map[string]string{}   // value key → representative name
+	reprPos := map[string]token.Pos{} // value key → its declaration position
+	scope := decl.Scope()
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(cn.Type(), named) {
+			continue
+		}
+		if !cn.Exported() && !sameVisibility {
+			continue
+		}
+		// The earliest declaration names the value; later aliases only
+		// add coverage, not requirements.
+		key := cn.Val().ExactString()
+		if pos, seen := reprPos[key]; !seen || cn.Pos() < pos {
+			required[key] = name
+			reprPos[key] = cn.Pos()
+		}
+	}
+	if len(required) < 2 {
+		return // not enum-like
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: always exhaustive
+		}
+		for _, e := range cc.List {
+			etv, ok := pass.TypesInfo.Types[e]
+			if !ok || etv.Value == nil {
+				// A non-constant case expression: coverage is not
+				// decidable, stay quiet.
+				return
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for key, name := range required {
+		if !covered[key] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sortByConstOrder(missing, decl.Scope(), named)
+	const maxNames = 6
+	extra := ""
+	if len(missing) > maxNames {
+		extra = fmt.Sprintf(" (and %d more)", len(missing)-maxNames)
+		missing = missing[:maxNames]
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s%s; add the missing cases or a default",
+		typeName(named, pass.Pkg), strings.Join(missing, ", "), extra)
+}
+
+// sortByConstOrder orders names by their constant value so the report
+// follows declaration order for iota enums.
+func sortByConstOrder(names []string, scope *types.Scope, typ types.Type) {
+	val := func(name string) int64 {
+		if cn, ok := scope.Lookup(name).(*types.Const); ok {
+			if v, exact := constant.Int64Val(cn.Val()); exact {
+				return v
+			}
+		}
+		return 0
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && val(names[j]) < val(names[j-1]); j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+}
+
+// typeName renders the tag type relative to the switch's package.
+func typeName(named *types.Named, from *types.Package) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() == from {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

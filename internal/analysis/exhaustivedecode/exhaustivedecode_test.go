@@ -1,0 +1,13 @@
+package exhaustivedecode_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/exhaustivedecode"
+)
+
+func TestDecode(t *testing.T) {
+	analysistest.Run(t, exhaustivedecode.Analyzer, filepath.Join("testdata", "src", "decode"))
+}

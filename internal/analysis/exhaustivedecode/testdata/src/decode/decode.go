@@ -1,0 +1,83 @@
+// Package decode is the exhaustivedecode fixture: a missing-opcode
+// switch, plus the three shapes that must stay quiet (full coverage,
+// default clause, non-enum tag).
+package decode
+
+type op uint8
+
+const (
+	opAdd op = iota
+	opSub
+	opMul
+	opHalt
+)
+
+// aliasHalt covers the same value as opHalt: coverage is by value.
+const aliasHalt = opHalt
+
+func missingCases(o op) int {
+	switch o { // want `switch over op is not exhaustive: missing opMul, opHalt`
+	case opAdd:
+		return 1
+	case opSub:
+		return 2
+	}
+	return 0
+}
+
+func fullCoverage(o op) int {
+	switch o {
+	case opAdd:
+		return 1
+	case opSub:
+		return 2
+	case opMul:
+		return 3
+	case aliasHalt:
+		return 4
+	}
+	return 0
+}
+
+func withDefault(o op) int {
+	switch o {
+	case opAdd:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func multiValueCases(o op) int {
+	switch o {
+	case opAdd, opSub:
+		return 1
+	case opMul, opHalt:
+		return 2
+	}
+	return 0
+}
+
+func taglessSwitch(o op) int {
+	switch {
+	case o == opAdd:
+		return 1
+	}
+	return 0
+}
+
+func nonEnumTag(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func nonConstantCase(o op, dyn op) int {
+	switch o {
+	case dyn:
+		return 1
+	}
+	return 0
+}

@@ -76,7 +76,7 @@ func run(pass *analysis.Pass) error {
 }
 
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	fresh := freshLocals(pass, fn.Body)
+	fresh := analysis.FreshLocals(pass.TypesInfo, fn.Body)
 	for _, scope := range scopes(fn.Body) {
 		checkScope(pass, fn.Name.Name, scope, fresh)
 	}
@@ -130,51 +130,6 @@ func verb(write bool) string {
 	return "read"
 }
 
-// freshLocals returns objects bound in body to values constructed there
-// (composite literals and new calls), which cannot be shared yet.
-func freshLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
-	fresh := map[types.Object]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || assign.Tok != token.DEFINE {
-			return true
-		}
-		for i, lhs := range assign.Lhs {
-			if i >= len(assign.Rhs) {
-				break
-			}
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			if obj := pass.TypesInfo.Defs[id]; obj != nil && constructsValue(pass, assign.Rhs[i]) {
-				fresh[obj] = true
-			}
-		}
-		return true
-	})
-	return fresh
-}
-
-// constructsValue reports whether e evaluates to a freshly allocated value.
-func constructsValue(pass *analysis.Pass, e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.CompositeLit:
-		return true
-	case *ast.UnaryExpr:
-		if e.Op == token.AND {
-			_, ok := e.X.(*ast.CompositeLit)
-			return ok
-		}
-	case *ast.CallExpr:
-		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
-			_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
-			return isBuiltin
-		}
-	}
-	return false
-}
-
 // lockEvents collects every non-deferred mutex method call in body, in
 // source order. Deferred unlocks run at return and do not change the
 // lexical lock state; function literals are separate scopes; and events
@@ -216,7 +171,7 @@ func lockEvents(body *ast.BlockStmt) []lockEvent {
 		if inTerminatingBranch(stack, body) {
 			return true
 		}
-		if key := renderChain(sel.X); key != "" {
+		if key := analysis.RenderChain(sel.X); key != "" {
 			events = append(events, lockEvent{key: key, kind: kind, pos: call.Pos()})
 		}
 		return true
@@ -285,98 +240,22 @@ func guardedAccesses(pass *analysis.Pass, body *ast.BlockStmt, fresh map[types.O
 			return true
 		}
 		base := sel.X
-		if root := rootIdent(base); root != nil {
+		if root := analysis.RootIdent(base); root != nil {
 			if obj := pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
 				return true
 			}
 		}
-		key := renderChain(base)
+		key := analysis.RenderChain(base)
 		if key == "" {
 			return true
 		}
 		out = append(out, access{
 			key:   key + "." + guard,
 			field: field,
-			write: isWrite(stack, sel),
+			write: analysis.IsWrite(stack, sel),
 			pos:   sel.Sel.Pos(),
 		})
 		return true
 	})
 	return out
-}
-
-// isWrite reports whether the selector (or an index/slice of it) is a
-// store target, an inc/dec operand, or has its address taken.
-func isWrite(stack []ast.Node, sel *ast.SelectorExpr) bool {
-	var cur ast.Expr = sel
-	for i := len(stack) - 2; i >= 0; i-- {
-		switch p := stack[i].(type) {
-		case *ast.ParenExpr:
-			cur = p
-		case *ast.IndexExpr:
-			if p.X != cur {
-				return false
-			}
-			cur = p
-		case *ast.SliceExpr:
-			if p.X != cur {
-				return false
-			}
-			cur = p
-		case *ast.StarExpr:
-			cur = p
-		case *ast.UnaryExpr:
-			return p.Op == token.AND
-		case *ast.AssignStmt:
-			for _, lhs := range p.Lhs {
-				if lhs == cur {
-					return true
-				}
-			}
-			return false
-		case *ast.IncDecStmt:
-			return p.X == cur
-		default:
-			return false
-		}
-	}
-	return false
-}
-
-// rootIdent returns the leftmost identifier of a selector chain.
-func rootIdent(e ast.Expr) *ast.Ident {
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return x
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		default:
-			return nil
-		}
-	}
-}
-
-// renderChain renders a pure ident/selector chain ("p.k"); impure bases
-// (calls, indexing) render empty and are skipped.
-func renderChain(e ast.Expr) string {
-	switch x := e.(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		base := renderChain(x.X)
-		if base == "" {
-			return ""
-		}
-		return base + "." + x.Sel.Name
-	case *ast.ParenExpr:
-		return renderChain(x.X)
-	case *ast.StarExpr:
-		return renderChain(x.X)
-	}
-	return ""
 }

@@ -1,0 +1,467 @@
+// Package lockorder builds the module-wide lock-acquisition-order graph
+// and proves it acyclic. Every time one mutex is acquired while another is
+// held — directly, or anywhere down the call graph — that nesting becomes
+// a directed edge held → acquired. A cycle in the graph is a potential
+// deadlock: two goroutines taking the same pair of locks in opposite
+// orders need only unlucky scheduling to hang, which in a cryptojacking
+// monitor means the defense silently stops sampling.
+//
+// Held-sets are computed flow-sensitively (may-analysis: a lock counts as
+// held after a merge if it was held on any incoming path) over the same
+// CFGs the lockset checker uses, and propagated interprocedurally: each
+// function's transitive acquisition set is the fixpoint of its own
+// acquisitions plus its callees', with interface calls fanned out to every
+// loaded implementation. Each edge keeps a witness — the function,
+// position, and call path that produced it — so a reported cycle shows
+// both nestings, not just the pair of locks.
+//
+// Two flavors of report:
+//
+//   - self-deadlock: a mutex acquired while the same chain already holds
+//     it (directly, or by calling a function that re-acquires it);
+//   - order cycle: the acquisition graph has a cycle, reported once per
+//     cycle with every participating edge's witness path.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"darkarts/internal/analysis"
+	"darkarts/internal/analysis/cfg"
+)
+
+// Analyzer proves the module's lock-acquisition-order graph acyclic.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "build the module lock-acquisition-order graph and report cycles (potential deadlocks) and self-deadlocks",
+	RunModule: run,
+}
+
+// heldInfo is one may-held lock: where it was acquired and through which
+// chain, kept for witness reporting.
+type heldInfo struct {
+	chain string
+	pos   token.Pos
+}
+
+// held is the may-hold fact: locks held on at least one path.
+type held map[types.Object]heldInfo
+
+// acqInfo records how a function comes to acquire a lock: directly at pos,
+// or by calling callee at pos.
+type acqInfo struct {
+	pos    token.Pos
+	callee *types.Func // nil for a direct acquisition
+}
+
+// edge is one observed nesting in the order graph.
+type edge struct{ from, to types.Object }
+
+// witness explains one edge: while holding from (acquired at heldAt) in
+// fn, the to-lock is acquired at pos (via the named call path if the
+// acquisition is transitive).
+type witness struct {
+	fn     *types.Func
+	heldAt token.Pos
+	pos    token.Pos
+	path   []string
+}
+
+type checker struct {
+	pass  *analysis.ModulePass
+	trans map[*types.Func]map[types.Object]acqInfo
+	edges map[edge]witness
+	nodes []types.Object
+	names map[types.Object]string
+}
+
+func run(pass *analysis.ModulePass) error {
+	c := &checker{
+		pass:  pass,
+		trans: map[*types.Func]map[types.Object]acqInfo{},
+		edges: map[edge]witness{},
+		names: map[types.Object]string{},
+	}
+	c.buildTransAcq()
+	for _, fn := range pass.Graph.Functions() {
+		c.collectEdges(fn)
+	}
+	c.nameLocks()
+	c.reportCycles()
+	return nil
+}
+
+// step is one lock-relevant event in a CFG node, in execution order:
+// either a direct mutex op or a call into the module.
+type step struct {
+	op     analysis.LockOp // valid when callee == nil
+	callee *types.Func
+	pos    token.Pos
+}
+
+// stepsIn extracts the steps of one CFG node. Deferred calls run at exit
+// and never nest inside the body's critical sections; closures and
+// go-statement payloads run on their own goroutine or schedule and are
+// analyzed as separate scopes.
+func (c *checker) stepsIn(info *types.Info, n ast.Node) []step {
+	if _, isGo := n.(*ast.GoStmt); isGo {
+		return nil
+	}
+	var steps []step
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := analysis.AsLockOp(info, x); ok {
+				steps = append(steps, step{op: op, pos: op.Pos})
+				return true
+			}
+			if callee := calleeOf(info, x); callee != nil {
+				steps = append(steps, step{callee: callee, pos: x.Pos()})
+			}
+		}
+		return true
+	})
+	return steps
+}
+
+// calleeOf statically resolves a call to a module function, if possible.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// heldLattice is the may-hold analysis: union join, acquisition adds,
+// release removes.
+type heldLattice struct {
+	c    *checker
+	info *types.Info
+}
+
+func (l *heldLattice) Join(a, b held) held {
+	out := held{}
+	for o, h := range a {
+		out[o] = h
+	}
+	for o, h := range b {
+		if cur, ok := out[o]; !ok || h.pos < cur.pos {
+			out[o] = h
+		}
+	}
+	return out
+}
+
+func (l *heldLattice) Equal(a, b held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for o, h := range a {
+		if b[o] != h {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *heldLattice) Transfer(n ast.Node, before held) held {
+	steps := l.c.stepsIn(l.info, n)
+	if len(steps) == 0 {
+		return before
+	}
+	out := held{}
+	for o, h := range before {
+		out[o] = h
+	}
+	for _, s := range steps {
+		if s.callee != nil {
+			continue
+		}
+		switch {
+		case s.op.Acquire():
+			if _, already := out[s.op.Mutex]; !already {
+				out[s.op.Mutex] = heldInfo{chain: s.op.Chain, pos: s.op.Pos}
+			}
+		case s.op.Release():
+			delete(out, s.op.Mutex)
+		}
+	}
+	return out
+}
+
+// directAcq returns fn's own acquisitions, flow-insensitively: any mutex
+// it may lock in its body (closures excluded — they run on their own
+// schedule and are not an effect of calling fn).
+func (c *checker) directAcq(fn *types.Func) map[types.Object]acqInfo {
+	fd := c.pass.Graph.Decl(fn)
+	pkg := c.pass.Graph.PackageOf(fn)
+	out := map[types.Object]acqInfo{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := analysis.AsLockOp(pkg.Info, x); ok && op.Acquire() {
+				if _, seen := out[op.Mutex]; !seen {
+					out[op.Mutex] = acqInfo{pos: op.Pos}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// buildTransAcq computes every function's transitive acquisition set: a
+// fixpoint of direct acquisitions plus callees' sets, each entry carrying
+// the call site it arrived through for witness-path reconstruction.
+func (c *checker) buildTransAcq() {
+	fns := c.pass.Graph.Functions()
+	for _, fn := range fns {
+		c.trans[fn] = c.directAcq(fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			mine := c.trans[fn]
+			for _, site := range c.pass.Graph.CallsFrom(fn) {
+				for obj := range c.trans[site.Callee] {
+					if _, ok := mine[obj]; !ok {
+						mine[obj] = acqInfo{pos: site.Pos, callee: site.Callee}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// acqPath reconstructs the call path by which fn reaches the acquisition
+// of obj, as function names ending at the direct acquirer.
+func (c *checker) acqPath(fn *types.Func, obj types.Object) []string {
+	var path []string
+	seen := map[*types.Func]bool{}
+	for fn != nil && !seen[fn] {
+		seen[fn] = true
+		info, ok := c.trans[fn][obj]
+		if !ok || info.callee == nil {
+			break
+		}
+		path = append(path, info.callee.Name())
+		fn = info.callee
+	}
+	return path
+}
+
+// collectEdges replays fn's body (and each closure, with an empty entry
+// held-set) over the solved may-held facts, recording a nesting edge for
+// every acquisition — direct or via call — that happens under a held lock.
+func (c *checker) collectEdges(fn *types.Func) {
+	fd := c.pass.Graph.Decl(fn)
+	pkg := c.pass.Graph.PackageOf(fn)
+	bodies := []*ast.BlockStmt{fd.Body}
+	for _, lit := range cfg.FuncLits(fd.Body) {
+		bodies = append(bodies, lit.Body)
+	}
+	for _, body := range bodies {
+		c.collectScope(fn, pkg, body)
+	}
+}
+
+func (c *checker) collectScope(fn *types.Func, pkg *analysis.Package, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	lat := &heldLattice{c: c, info: pkg.Info}
+	in := cfg.Solve[held](g, held{}, lat)
+
+	for _, blk := range g.Blocks {
+		fact, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			for _, s := range c.stepsIn(pkg.Info, n) {
+				switch {
+				case s.callee == nil && s.op.Acquire():
+					if h, ok := fact[s.op.Mutex]; ok {
+						if h.chain == s.op.Chain {
+							c.pass.Reportf(s.pos, "self-deadlock in %s: %s is acquired at this point while already held (acquired at %s)",
+								fn.Name(), s.op.Chain, c.site(h.pos))
+						}
+						// Same object, different chain: two instances of
+						// one lock class; not an order edge.
+						continue
+					}
+					c.addEdges(fn, fact, s.op.Mutex, s.pos, nil)
+				case s.callee != nil:
+					objs := make([]types.Object, 0, len(c.trans[s.callee]))
+					for obj := range c.trans[s.callee] {
+						objs = append(objs, obj)
+					}
+					sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+					for _, obj := range objs {
+						path := append([]string{s.callee.Name()}, c.acqPath(s.callee, obj)...)
+						if h, ok := fact[obj]; ok {
+							c.pass.Reportf(s.pos, "self-deadlock in %s: this call re-acquires %s via %s while it is held (acquired at %s)",
+								fn.Name(), h.chain, strings.Join(path, " → "), c.site(h.pos))
+							continue
+						}
+						c.addEdges(fn, fact, obj, s.pos, path)
+					}
+				}
+			}
+			fact = lat.Transfer(n, fact)
+		}
+	}
+}
+
+// addEdges records held × acquired for every currently held lock.
+func (c *checker) addEdges(fn *types.Func, fact held, to types.Object, pos token.Pos, path []string) {
+	froms := make([]types.Object, 0, len(fact))
+	for obj := range fact {
+		froms = append(froms, obj)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i].Pos() < froms[j].Pos() })
+	for _, from := range froms {
+		if from == to {
+			continue
+		}
+		e := edge{from: from, to: to}
+		if _, ok := c.edges[e]; ok {
+			continue
+		}
+		c.edges[e] = witness{fn: fn, heldAt: fact[from].pos, pos: pos, path: path}
+		for _, obj := range [2]types.Object{from, to} {
+			found := false
+			for _, n := range c.nodes {
+				if n == obj {
+					found = true
+					break
+				}
+			}
+			if !found {
+				c.nodes = append(c.nodes, obj)
+			}
+		}
+	}
+}
+
+// nameLocks renders every graph node as pkg.Type.field (or pkg.var for a
+// package-level mutex) by scanning the loaded packages' scopes.
+func (c *checker) nameLocks() {
+	owner := map[types.Object]string{}
+	for _, pkg := range c.pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				owner[st.Field(i)] = pkg.Types.Name() + "." + name
+			}
+		}
+	}
+	for _, obj := range c.nodes {
+		if o, ok := owner[obj]; ok {
+			c.names[obj] = o + "." + obj.Name()
+		} else if obj.Pkg() != nil {
+			c.names[obj] = obj.Pkg().Name() + "." + obj.Name()
+		} else {
+			c.names[obj] = obj.Name()
+		}
+	}
+}
+
+// reportCycles finds every elementary cycle reachable in the (small) edge
+// graph via DFS and reports each once, keyed by its sorted node set, with
+// every edge's witness.
+func (c *checker) reportCycles() {
+	sort.Slice(c.nodes, func(i, j int) bool { return c.names[c.nodes[i]] < c.names[c.nodes[j]] })
+	succs := map[types.Object][]types.Object{}
+	for e := range c.edges {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	for _, ss := range succs {
+		sort.Slice(ss, func(i, j int) bool { return c.names[ss[i]] < c.names[ss[j]] })
+	}
+
+	reported := map[string]bool{}
+	var dfs func(start, cur types.Object, path []types.Object, onPath map[types.Object]bool)
+	dfs = func(start, cur types.Object, path []types.Object, onPath map[types.Object]bool) {
+		for _, next := range succs[cur] {
+			if next == start {
+				c.reportCycle(append(path, cur), reported)
+				continue
+			}
+			if onPath[next] {
+				continue
+			}
+			onPath[next] = true
+			dfs(start, next, append(path, cur), onPath)
+			delete(onPath, next)
+		}
+	}
+	for _, start := range c.nodes {
+		dfs(start, start, nil, map[types.Object]bool{start: true})
+	}
+}
+
+// reportCycle emits one cycle diagnostic, anchored at the lexically first
+// witness, listing every edge with its nesting site and call path.
+func (c *checker) reportCycle(cycle []types.Object, reported map[string]bool) {
+	names := make([]string, len(cycle))
+	for i, obj := range cycle {
+		names[i] = c.names[obj]
+	}
+	keyParts := append([]string(nil), names...)
+	sort.Strings(keyParts)
+	key := strings.Join(keyParts, "|")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+
+	var parts []string
+	anchor := token.Pos(0)
+	for i, from := range cycle {
+		to := cycle[(i+1)%len(cycle)]
+		w := c.edges[edge{from: from, to: to}]
+		if anchor == 0 || w.pos < anchor {
+			anchor = w.pos
+		}
+		site := fmt.Sprintf("%s → %s in %s at %s", c.names[from], c.names[to], w.fn.Name(), c.site(w.pos))
+		if len(w.path) > 0 {
+			site += " (via " + strings.Join(w.path, " → ") + ")"
+		}
+		parts = append(parts, site)
+	}
+	c.pass.Reportf(anchor, "lock-order cycle (potential deadlock): %s", strings.Join(parts, "; "))
+}
+
+// site renders a witness position as basename:line, keeping diagnostics
+// stable across checkout locations.
+func (c *checker) site(pos token.Pos) string {
+	p := c.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

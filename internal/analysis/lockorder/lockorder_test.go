@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/lockorder"
+)
+
+func TestDeadlock(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, filepath.Join("testdata", "src", "deadlock"))
+}

@@ -1,0 +1,87 @@
+// Package deadlock is the lockorder fixture: a two-path AB/BA deadlock
+// (one leg hidden behind a helper call), a self-deadlock, a transitive
+// re-acquisition, and correctly ordered nestings that must stay quiet.
+package deadlock
+
+import "sync"
+
+type alpha struct {
+	mu sync.Mutex
+	n  int
+}
+
+type beta struct {
+	mu sync.Mutex
+	n  int
+}
+
+var a alpha
+var b beta
+
+// lockAlphaThenBeta takes a.mu then b.mu: the A→B leg.
+func lockAlphaThenBeta() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle \(potential deadlock\).*deadlock\.alpha\.mu → deadlock\.beta\.mu.*deadlock\.beta\.mu → deadlock\.alpha\.mu.*via grabAlpha`
+	b.n++
+	b.mu.Unlock()
+}
+
+// grabAlpha hides the B→A leg's inner acquisition behind a call.
+func grabAlpha() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// lockBetaThenAlpha takes b.mu then (via grabAlpha) a.mu: the B→A leg.
+// Together with lockAlphaThenBeta the order graph has the cycle
+// alpha.mu → beta.mu → alpha.mu.
+func lockBetaThenAlpha() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	grabAlpha()
+}
+
+// selfLock re-acquires the mutex it already holds.
+func selfLock() {
+	a.mu.Lock()
+	a.mu.Lock() // want `self-deadlock in selfLock`
+	a.n++
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// reacquireViaCall holds a.mu and calls a helper that locks it again.
+func reacquireViaCall() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	grabAlpha() // want `self-deadlock in reacquireViaCall: this call re-acquires a\.mu via grabAlpha`
+}
+
+type gamma struct {
+	mu sync.Mutex
+	n  int
+}
+
+var g gamma
+
+// orderedNesting nests consistently (beta.mu → gamma.mu only): no cycle,
+// no report.
+func orderedNesting() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// sequentialNoNesting releases before acquiring: no edge at all.
+func sequentialNoNesting() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

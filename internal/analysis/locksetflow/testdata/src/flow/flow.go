@@ -1,0 +1,98 @@
+// Package flow is the locksetflow fixture: guarded-field accesses whose
+// lock state differs per path — the cases a lexical scan cannot decide.
+package flow
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// branchLeak is the bug the lexical analyzer misses: the lock is taken on
+// one branch only, so it is not held on every path to the access, but a
+// source-order scan sees Lock before the access and stays quiet.
+func branchLeak(s *store, cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.n++ // want `s\.mu is not held on every path`
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// branchRelease leaks the access past an unlock on one branch.
+func branchRelease(s *store, err bool) {
+	s.mu.Lock()
+	if err {
+		s.mu.Unlock()
+	}
+	s.n++ // want `s\.mu is not held on every path`
+	if !err {
+		s.mu.Unlock()
+	}
+}
+
+// earlyReturn is the early-exit idiom and must stay clean: the unlocking
+// branch returns, so every path reaching the access still holds the lock.
+func earlyReturn(s *store, done bool) {
+	s.mu.Lock()
+	if done {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// inLoop exercises the back-edge join: the lock is held on entry and
+// around the body, so the access is covered on every iteration.
+func inLoop(s *store, n int) {
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) lock()   { s.mu.Lock() }
+func (s *store) unlock() { s.mu.Unlock() }
+
+// viaHelpers goes through lock helpers: the summaries propagate the
+// receiver-bound acquisition to the call site.
+func viaHelpers(s *store) {
+	s.lock()
+	s.n++
+	s.unlock()
+}
+
+// inClosure: a closure runs at an arbitrary time, so the enclosing
+// function's lock does not cover it.
+func inClosure(s *store) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.n++ // want `s\.mu is not held on every path`
+	}
+}
+
+// readThenWrite holds only the read lock across a write.
+func readThenWrite(s *store) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_ = s.n
+	s.n = 1 // want `writes need the exclusive Lock`
+}
+
+// unguarded has no lock at all.
+func unguarded(s *store) {
+	s.n = 2 // want `s\.mu is not held on every path`
+}
+
+// freshValue constructs the store locally: not yet shared, exempt.
+func freshValue() int {
+	s := &store{}
+	s.n = 3
+	return s.n
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"time"
 )
 
 // Finding is one post-suppression diagnostic, positioned and attributed.
@@ -18,37 +19,98 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
 }
 
+// Timing is one analyzer's cumulative wall time across every package it
+// ran on (module analyzers run once; the call-graph build is attributed
+// to the pseudo-analyzer "callgraph").
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
 // Run executes every analyzer over every package (subject to filter, which
 // may be nil to run everything everywhere) and returns the surviving
 // findings sorted by position. //lint:ignore-suppressed diagnostics are
 // dropped here, in the driver, so analyzers stay suppression-agnostic.
 func Run(pkgs []*Package, analyzers []*Analyzer, dirs *Directives, filter func(a *Analyzer, pkgPath string) bool) ([]Finding, error) {
+	findings, _, err := RunTimed(pkgs, analyzers, dirs, filter)
+	return findings, err
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting. Per-package
+// analyzers run against every package passing the filter; module
+// analyzers run once over all packages, sharing a single call graph
+// (built lazily on first use — the type-checked load is already shared
+// by everything through pkgs).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, dirs *Directives, filter func(a *Analyzer, pkgPath string) bool) ([]Finding, []Timing, error) {
 	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if filter != nil && !filter(a, pkg.PkgPath) {
+	elapsed := map[string]time.Duration{}
+	var order []string
+
+	track := func(name string, d time.Duration) {
+		if _, ok := elapsed[name]; !ok {
+			order = append(order, name)
+		}
+		elapsed[name] += d
+	}
+
+	collect := func(a *Analyzer, fset *token.FileSet, diags []Diagnostic) {
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if dirs.Suppressed(a.Name, pos) {
 				continue
 			}
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Dirs:      dirs,
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+
+	var graph *CallGraph
+	callGraph := func() *CallGraph {
+		if graph == nil {
+			start := time.Now()
+			graph = BuildCallGraph(pkgs)
+			track("callgraph", time.Since(start))
+		}
+		return graph
+	}
+
+	for _, a := range analyzers {
+		switch {
+		case a.RunModule != nil:
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Dirs: dirs, Graph: callGraph()}
+			if len(pkgs) > 0 {
+				mp.Fset = pkgs[0].Fset
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			start := time.Now()
+			if err := a.RunModule(mp); err != nil {
+				return nil, nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
 			}
-			for _, d := range pass.diags {
-				pos := pkg.Fset.Position(d.Pos)
-				if dirs.Suppressed(a.Name, pos) {
+			track(a.Name, time.Since(start))
+			if mp.Fset != nil {
+				collect(a, mp.Fset, mp.diags)
+			}
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				if filter != nil && !filter(a, pkg.PkgPath) {
 					continue
 				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					Dirs:      dirs,
+				}
+				start := time.Now()
+				if err := a.Run(pass); err != nil {
+					return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				}
+				track(a.Name, time.Since(start))
+				collect(a, pkg.Fset, pass.diags)
 			}
 		}
 	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -62,5 +124,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer, dirs *Directives, filter func(a
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+
+	timings := make([]Timing, 0, len(order))
+	for _, name := range order {
+		timings = append(timings, Timing{Analyzer: name, Elapsed: elapsed[name]})
+	}
+	return findings, timings, nil
 }

@@ -1,0 +1,31 @@
+// Package calls is the call-graph fixture: direct calls, method calls,
+// interface dispatch, and a func-value call that must stay unresolved.
+package calls
+
+type runner interface {
+	Run() int
+}
+
+type fast struct{ n int }
+
+func (f *fast) Run() int { return f.n }
+
+type slow struct{}
+
+func (slow) Run() int { return helper() }
+
+func helper() int { return 1 }
+
+type engine struct {
+	r  runner
+	cb func() int
+}
+
+func (e *engine) drive() int {
+	direct := helper()    // direct call
+	viaIface := e.r.Run() // interface dispatch: fast.Run and slow.Run
+	viaField := e.cb()    // func value: unresolvable
+	return direct + viaIface + viaField
+}
+
+func (e *engine) chain() int { return e.drive() }

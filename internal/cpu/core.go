@@ -494,6 +494,8 @@ func condTaken(op isa.Op, f Flags) bool {
 		return !f.C && !f.Z
 	case isa.JAE:
 		return !f.C
+	default:
+		// Unconditional branches and non-branches never consult flags.
+		return false
 	}
-	return false
 }

@@ -377,8 +377,9 @@ func hasImmForm(op isa.Op) bool {
 	case isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.XORI,
 		isa.SHLI, isa.SHRI, isa.SARI, isa.ROLI, isa.RORI, isa.ROL32I, isa.ROR32I:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // predictor is a gshare conditional predictor plus a return address stack.

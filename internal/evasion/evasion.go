@@ -113,8 +113,10 @@ func ObfuscateRotates(p *isa.Program, s1, s2 isa.Reg) (*isa.Program, error) {
 				{Op: isa.OR, Rd: s1, Rs1: s1, Rs2: s2},
 				{Op: isa.ANDI, Rd: in.Rd, Rs1: s1, Imm: 0xFFFFFFFF},
 			}
+		default:
+			// Every other opcode passes through unrewritten.
+			return nil
 		}
-		return nil
 	})
 }
 
@@ -141,8 +143,10 @@ func ObfuscateXorToOr(p *isa.Program, s1, s2 isa.Reg) (*isa.Program, error) {
 				{Op: isa.ANDI, Rd: s2, Rs1: in.Rs1, Imm: ^in.Imm},
 				{Op: isa.OR, Rd: in.Rd, Rs1: s1, Rs2: s2},
 			}
+		default:
+			// Every other opcode passes through unrewritten.
+			return nil
 		}
-		return nil
 	})
 }
 

@@ -114,8 +114,9 @@ func hasImmOperand(o Op) bool {
 	switch o {
 	case MOVI, ADDI, SUBI, ANDI, ORI, XORI, SHLI, SHRI, SARI, ROLI, RORI, ROL32I, ROR32I, CMPI, LEA:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // InstBytes is the modelled encoded size of one instruction. Program

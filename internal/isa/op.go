@@ -194,8 +194,9 @@ func (o Op) IsCondBranch() bool {
 	switch o {
 	case JE, JNE, JL, JLE, JG, JGE, JB, JBE, JA, JAE:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // IsMem reports whether the opcode accesses data memory.

@@ -205,6 +205,8 @@ func (k *Kernel) traceTask(kind obs.EventKind, t *Task) {
 		k.om.tasksSpawned.Inc()
 	case obs.EvTaskExit:
 		k.om.tasksExited.Inc()
+	default:
+		// Other event kinds are recorded but have no dedicated counter.
 	}
 	k.om.reg.Tracer().Record(obs.Event{Time: k.now, Kind: kind, Arg: uint64(t.Pid), Note: t.Name})
 }

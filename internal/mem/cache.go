@@ -270,6 +270,8 @@ func (h *Hierarchy) LoadLatency(core int, addr uint64) int {
 			shared = true
 		case mesiShared:
 			shared = true
+		case mesiInvalid:
+			// No copy in this core: nothing to downgrade.
 		}
 	}
 	lat := l1.cfg.LatencyCy + h.l2Latency(addr, false) + extra
