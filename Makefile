@@ -56,11 +56,13 @@ race:
 # Headline throughput benchmarks (engine MIPS + parallel scheduler).
 bench:
 	$(GO) test -run '^$$' -bench 'FastEngineMIPS|DetailedEngineMIPS' -benchtime 20000000x .
+	$(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 10000000x .
 	$(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel
 
 # Regenerate BENCH_baseline.json from the benchmarks above.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'FastEngineMIPS|DetailedEngineMIPS' -benchtime 20000000x . ; \
+	  $(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 10000000x . ; \
 	  $(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 

@@ -291,6 +291,65 @@ func BenchmarkFastEngineMIPS(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
+// BenchmarkBlockCacheMIPS measures the fast engine on the mining kernels
+// the defense exists to detect — the workloads whose characterization runs
+// dominate the experiment wall clock. The Cached/Uncached pair A/Bs the
+// basic-block translation cache against the per-instruction reference loop
+// on the same program.
+func BenchmarkBlockCacheMIPS(b *testing.B) {
+	kernels := []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"sha3", workload.SHA3Program()},
+		{"sha2", workload.SHA2Program()},
+		{"aes", workload.AESProgram()},
+	}
+	for _, k := range kernels {
+		for _, mode := range []struct {
+			name    string
+			noCache bool
+		}{{"Cached", false}, {"Uncached", true}} {
+			b.Run(k.name+"/"+mode.name, func(b *testing.B) {
+				cfg := cpu.DefaultConfig()
+				cfg.Cores = 1
+				cfg.NoBlockCache = mode.noCache
+				machine, err := cpu.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				const base = 0x100_0000
+				core := machine.Core(0)
+				ctx, err := cpu.NewContext(k.prog, machine.Memory(), base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.LoadContext(ctx)
+				b.ResetTimer()
+				// The kernels hash a fixed message then halt; restart them
+				// daemon-style (as ISAWorkload does) until b.N retire.
+				var executed uint64
+				for executed < uint64(b.N) {
+					n := core.Run(uint64(b.N) - executed)
+					executed += n
+					if ctx.Halted {
+						if ctx.Fault != nil {
+							b.Fatal(ctx.Fault)
+						}
+						ctx, err = cpu.NewContext(k.prog, machine.Memory(), base)
+						if err != nil {
+							b.Fatal(err)
+						}
+						core.LoadContext(ctx)
+					}
+				}
+				b.SetBytes(isa.InstBytes)
+				b.ReportMetric(float64(executed)/b.Elapsed().Seconds()/1e6, "MIPS")
+			})
+		}
+	}
+}
+
 func BenchmarkDetailedEngineMIPS(b *testing.B) {
 	cfg := cpu.DefaultConfig()
 	cfg.Cores = 1

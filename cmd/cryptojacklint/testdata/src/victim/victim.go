@@ -135,3 +135,12 @@ func Throttle(samples []uint32) uint32 {
 	}
 	return acc
 }
+
+// growBlock seeds a hotpath allocation violation in the style of a
+// basic-block cache bug: appending decoded ops inside the dispatch loop
+// instead of building the block on the coldpath miss.
+//
+//cryptojack:hotpath
+func growBlock(block []stage, s stage) []stage {
+	return append(block, s)
+}

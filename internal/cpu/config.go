@@ -47,6 +47,11 @@ type Config struct {
 	// characterization experiments (Figures 5-11). Production hardware
 	// would ship with this off.
 	Characterize bool
+	// NoBlockCache disables the fast engine's basic-block translation
+	// cache, forcing the per-instruction reference loop. The zero value
+	// (cache enabled) is the production configuration; the knob exists for
+	// differential testing and A/B benchmarks.
+	NoBlockCache bool
 }
 
 // DefaultConfig returns the Table I machine in fast mode.

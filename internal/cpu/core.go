@@ -65,6 +65,10 @@ type Core struct {
 
 	tlb memTLB
 
+	// bb is the per-core basic-block translation cache (fast mode only;
+	// see bbcache.go).
+	bb blockCache
+
 	// Detailed-mode timing state (see timing.go).
 	tm timing
 }
@@ -204,12 +208,28 @@ func (c *Core) Run(maxInsts uint64) uint64 {
 
 // runFast is the functional engine: exact architectural and counter
 // semantics, no timing. One simulated cycle per instruction is accounted so
-// rate-based consumers still observe monotonic time. The tag table,
-// instruction slice, and observability switches are hoisted out of the
-// loop, and counter updates are batched to one add per Run call.
+// rate-based consumers still observe monotonic time. It normally executes
+// through the basic-block translation cache (bbcache.go); cores with a
+// retirement observer attached need exact per-instruction retirement order
+// and fall back to the per-instruction step loop, as does a machine
+// configured with NoBlockCache.
 //
 //cryptojack:hotpath
 func (c *Core) runFast(maxInsts uint64) uint64 {
+	if c.observer == nil && !c.cfg.NoBlockCache {
+		return c.runFastBlocks(maxInsts)
+	}
+	return c.runFastStep(maxInsts)
+}
+
+// runFastStep is the plain per-instruction fast engine. The tag table,
+// instruction slice, and observability switches are hoisted out of the
+// loop, and counter updates are batched to one add per Run call. It is the
+// reference semantics the block-cached engine is differentially tested
+// against.
+//
+//cryptojack:hotpath
+func (c *Core) runFastStep(maxInsts uint64) uint64 {
 	ctx := c.ctx
 	code := ctx.Prog.Code
 	tags := c.tagTable()

@@ -3,6 +3,7 @@ package kernel
 import (
 	"time"
 
+	"darkarts/internal/cpu"
 	"darkarts/internal/obs"
 )
 
@@ -30,6 +31,7 @@ type kmetrics struct {
 	execNs         *obs.Counter
 	mergeWaitNs    *obs.Counter
 	mergeNs        *obs.Counter
+	mergeOverlapNs *obs.Counter
 
 	// Per-core execute-phase breakdown.
 	coreBusyNs  []*obs.Counter
@@ -37,6 +39,12 @@ type kmetrics struct {
 	coreRetired []*obs.Counter
 	tlbHits     []*obs.Counter
 	tlbMisses   []*obs.Counter
+
+	// Per-core basic-block translation cache counters (fast engine).
+	bbHits          []*obs.Counter
+	bbMisses        []*obs.Counter
+	bbInvalidations []*obs.Counter
+	bbLen           *obs.Histogram
 
 	retiredPerQuantum *obs.Histogram
 
@@ -59,13 +67,15 @@ type kmetrics struct {
 	tasksExited  *obs.Counter
 	memPages     *obs.Gauge
 
-	// Per-quantum scratch. coreBusy[i] is written only by core i's worker
-	// (or the serial loop) during execute and read in the merge phase, so
-	// the plan→execute→merge barriers order all accesses.
+	// Per-quantum scratch. coreBusy[i] is written only by whichever
+	// goroutine claimed core i during execute (or the serial loop) and
+	// read in the merge phase, so the plan→execute→merge barriers order
+	// all accesses.
 	coreBusy      []time.Duration
 	retiredLast   []uint64
 	tlbHitsLast   []uint64
 	tlbMissesLast []uint64
+	bbLast        []cpu.BBStats
 	// crossTimes holds the host time of each threshold crossing this
 	// quantum; latency is observed after alert callbacks are delivered.
 	crossTimes []time.Time
@@ -84,6 +94,10 @@ func newKMetrics(reg *obs.Registry, cores int) *kmetrics {
 			Unit: "ns", Help: "host time the scheduler blocked at the merge barrier"}),
 		mergeNs: reg.Counter(obs.Desc{Name: "sched_merge_ns_total", Layer: obs.LayerKernel,
 			Unit: "ns", Help: "host time in the deterministic merge phase"}),
+		mergeOverlapNs: reg.Counter(obs.Desc{Name: "sched_merge_overlap_ns_total", Layer: obs.LayerKernel,
+			Unit: "ns", Help: "merge-phase host time hidden inside the next quantum's execute window"}),
+		bbLen: reg.Histogram(obs.Desc{Name: "bb_insts_per_block", Layer: obs.LayerCPU,
+			Unit: "instructions", Help: "instructions retired per basic-block dispatch (fast engine)"}, cpu.BBLenBounds),
 		retiredPerQuantum: reg.Histogram(obs.Desc{Name: "sched_retired_per_quantum", Layer: obs.LayerKernel,
 			Unit: "instructions", Help: "instructions retired per core per quantum"}, obsInstBuckets),
 		samples: reg.Counter(obs.Desc{Name: "rsx_samples_total", Layer: obs.LayerKernel,
@@ -115,6 +129,7 @@ func newKMetrics(reg *obs.Registry, cores int) *kmetrics {
 		retiredLast:   make([]uint64, cores),
 		tlbHitsLast:   make([]uint64, cores),
 		tlbMissesLast: make([]uint64, cores),
+		bbLast:        make([]cpu.BBStats, cores),
 	}
 	for i := 0; i < cores; i++ {
 		label := obs.CoreLabel(i)
@@ -133,6 +148,15 @@ func newKMetrics(reg *obs.Registry, cores int) *kmetrics {
 		m.tlbMisses = append(m.tlbMisses, reg.Counter(obs.Desc{
 			Name: "tlb_misses_total", Label: label, Layer: obs.LayerCPU,
 			Unit: "misses", Help: "per-core page-translation cache misses (shared page-table walks)"}))
+		m.bbHits = append(m.bbHits, reg.Counter(obs.Desc{
+			Name: "bb_hits_total", Label: label, Layer: obs.LayerCPU,
+			Unit: "blocks", Help: "basic-block translation cache hits (fast engine)"}))
+		m.bbMisses = append(m.bbMisses, reg.Counter(obs.Desc{
+			Name: "bb_misses_total", Label: label, Layer: obs.LayerCPU,
+			Unit: "blocks", Help: "basic-block translation cache misses (blocks decoded and cached)"}))
+		m.bbInvalidations = append(m.bbInvalidations, reg.Counter(obs.Desc{
+			Name: "bb_invalidations_total", Label: label, Layer: obs.LayerCPU,
+			Unit: "invalidations", Help: "basic-block cache wipes from tag-table generation changes"}))
 	}
 	return m
 }
@@ -172,6 +196,18 @@ func (m *kmetrics) observeQuantum(k *Kernel, parallel bool, execWindow, mergeDur
 		m.tlbHits[i].Add(hits - m.tlbHitsLast[i])
 		m.tlbMisses[i].Add(misses - m.tlbMissesLast[i])
 		m.tlbHitsLast[i], m.tlbMissesLast[i] = hits, misses
+
+		bb := core.BlockCacheStats()
+		prev := &m.bbLast[i]
+		m.bbHits[i].Add(bb.Hits - prev.Hits)
+		m.bbMisses[i].Add(bb.Misses - prev.Misses)
+		m.bbInvalidations[i].Add(bb.Invalidations - prev.Invalidations)
+		var lenDelta [len(bb.LenCounts)]uint64
+		for b := range bb.LenCounts {
+			lenDelta[b] = bb.LenCounts[b] - prev.LenCounts[b]
+		}
+		m.bbLen.AddBuckets(lenDelta[:], bb.LenSum-prev.LenSum)
+		*prev = bb
 	}
 	m.memPages.Set(int64(k.machine.Memory().Pages()))
 }

@@ -337,8 +337,10 @@ func BenchmarkParallelQuantum(b *testing.B) {
 			}
 			quanta, _ := reg.Value("sched_quanta_total", "")
 			wait, _ := reg.Value("sched_merge_wait_ns_total", "")
+			overlap, _ := reg.Value("sched_merge_overlap_ns_total", "")
 			if quanta > 0 {
 				b.ReportMetric(wait/quanta/1e3, "merge_wait_us/q")
+				b.ReportMetric(overlap/quanta/1e3, "merge_overlap_us/q")
 			}
 		})
 	}

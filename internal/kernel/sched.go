@@ -2,7 +2,9 @@ package kernel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkarts/internal/cpu"
@@ -47,11 +49,16 @@ type Config struct {
 	// housekeeping (counter read, tgid_rsx_t update, window check). It
 	// feeds the performance-overhead experiments; zero means free.
 	SampleCost uint64
-	// Parallel dispatches each core's packed slices to a persistent
-	// per-core worker goroutine and barriers at quantum end, merging the
-	// sampled counter deltas in deterministic core order — results are
-	// bit-identical to serial execution. The kernel silently falls back to
-	// serial when the machine is single-core, runs the detailed engine
+	// Parallel executes each quantum's packed slices through a
+	// work-stealing pool: persistent thief goroutines plus the scheduler
+	// goroutine itself claim whole cores off a shared cursor, and the
+	// deterministic accounting of quantum N overlaps the execute phase of
+	// quantum N+1 — results are bit-identical to serial execution (the
+	// deferred accounting is flushed before Run returns). The thief pool
+	// is sized to the host's spare hardware parallelism, so on a
+	// single-hardware-thread host the quantum degrades to a lean serial
+	// sweep with no goroutine round-trips. The kernel silently falls back
+	// to serial when the machine is single-core, runs the detailed engine
 	// (cross-core MESI/L2 state makes interleaving semantically
 	// meaningful), or has a retirement observer attached.
 	Parallel bool
@@ -117,9 +124,24 @@ type Kernel struct {
 	plan   []placement
 	deltas []uint64 // per-plan-entry RSX deltas measured during execution
 
-	// workers are the per-core execution goroutines (nil when serial).
-	workers  []*coreWorker
-	workerWG sync.WaitGroup
+	// Deferred-merge double buffer: in parallel mode the accounting for
+	// quantum N (window checks, alerts, samples) runs overlapped with the
+	// execute phase of quantum N+1, so the previous quantum's plan, deltas
+	// and context-switch time are parked here until then. pendingMerge is
+	// cleared by the overlap step or by flushPending before Run returns.
+	prevPlan     []placement
+	prevDeltas   []uint64
+	prevSwitch   time.Duration
+	pendingMerge bool
+
+	// Work-stealing execute phase: claim hands out core indices; thieves
+	// and the scheduler goroutine each take a core at a time and run its
+	// packed slices. workers is nil when serial; parallelRun marks an
+	// active pool for quantum().
+	claim       atomic.Int64
+	workers     []*stealWorker
+	workerWG    sync.WaitGroup
+	parallelRun bool
 
 	// om holds the pre-resolved observability handles (nil when
 	// Config.Obs is nil; see obs.go).
@@ -277,29 +299,45 @@ func (k *Kernel) parallelEligible() bool {
 	return true
 }
 
-// coreWorker executes the planned slices of one core for each quantum.
-type coreWorker struct {
+// stealWorker is one thief goroutine of the work-stealing execute phase.
+// It carries no core affinity: each quantum it claims whole cores off the
+// shared cursor until none remain.
+type stealWorker struct {
 	k     *Kernel
-	core  int
 	start chan struct{}
 }
 
-func (w *coreWorker) loop() {
+func (w *stealWorker) loop() {
 	for range w.start {
-		w.runSlices()
+		w.k.stealCores()
 		w.k.workerWG.Done()
 	}
 }
 
-// runSlices runs every planned slice of this worker's core, in pack
-// order, sampling the core's RSX counter after each slice exactly as the
-// serial scheduler hook does. It touches only per-core state: the core,
-// its counter bank, its coreLast entry, its deltas slots, and (when
-// instrumented) its coreBusy scratch slot.
-func (w *coreWorker) runSlices() {
-	k := w.k
-	core := k.machine.Core(w.core)
-	last := k.coreLast[w.core]
+// stealCores claims cores off the shared cursor and runs each one's
+// packed slices until every core has been taken. Both the thieves and the
+// scheduler goroutine run this, so the quantum never blocks on goroutine
+// wakeup latency when the host has no spare hardware threads.
+func (k *Kernel) stealCores() {
+	n := k.machine.Cores()
+	for {
+		c := int(k.claim.Add(1)) - 1
+		if c >= n {
+			return
+		}
+		k.runCoreSlices(c)
+	}
+}
+
+// runCoreSlices runs every planned slice of one core, in pack order,
+// sampling the core's RSX counter after each slice exactly as the serial
+// scheduler hook does. It touches only per-core state: the core, its
+// counter bank, its coreLast entry, its deltas slots, and (when
+// instrumented) its coreBusy scratch slot — so distinct cores run
+// concurrently without synchronization.
+func (k *Kernel) runCoreSlices(coreID int) {
+	core := k.machine.Core(coreID)
+	last := k.coreLast[coreID]
 	var t0 time.Time
 	if k.om != nil {
 		//lint:ignore determinism host wall clock feeds the busy-time metric only, never simulation state
@@ -307,7 +345,7 @@ func (w *coreWorker) runSlices() {
 	}
 	for i := range k.plan {
 		p := &k.plan[i]
-		if p.core != w.core {
+		if p.core != coreID {
 			continue
 		}
 		p.task.workload.RunSlice(core, k.cfg.TimeSlice)
@@ -316,23 +354,30 @@ func (w *coreWorker) runSlices() {
 		last = cur
 	}
 	if k.om != nil {
-		k.om.coreBusy[w.core] = time.Since(t0)
+		k.om.coreBusy[coreID] = time.Since(t0)
 	}
-	k.coreLast[w.core] = last
+	k.coreLast[coreID] = last
 }
 
-// startWorkers spins up the per-core workers if the parallel path is
-// eligible, returning a stop function. Workers persist across all quanta
-// of one Run call and are torn down on return so kernels never leak
-// goroutines.
+// startWorkers spins up the thief pool if the parallel path is eligible,
+// returning a stop function. The pool is sized min(cores-1, GOMAXPROCS-1):
+// the scheduler goroutine always participates in stealing, so thieves only
+// cover the hardware parallelism beyond it — on a single-hardware-thread
+// host the pool is empty and quanta run without any goroutine round-trips.
+// Thieves persist across all quanta of one Run call and are torn down on
+// return so kernels never leak goroutines.
 func (k *Kernel) startWorkers() (stop func()) {
 	if !k.parallelEligible() {
 		return func() {}
 	}
-	n := k.machine.Cores()
-	k.workers = make([]*coreWorker, n)
+	k.parallelRun = true
+	n := k.machine.Cores() - 1
+	if spare := runtime.GOMAXPROCS(0) - 1; n > spare {
+		n = spare
+	}
+	k.workers = make([]*stealWorker, n)
 	for i := range k.workers {
-		w := &coreWorker{k: k, core: i, start: make(chan struct{}, 1)}
+		w := &stealWorker{k: k, start: make(chan struct{}, 1)}
 		k.workers[i] = w
 		go w.loop()
 	}
@@ -341,31 +386,40 @@ func (k *Kernel) startWorkers() (stop func()) {
 			close(w.start)
 		}
 		k.workers = nil
+		k.parallelRun = false
 	}
 }
 
 // Run advances the simulation by d of simulated time, scheduling runnable
-// tasks round-robin across all cores in time-slice quanta.
+// tasks round-robin across all cores in time-slice quanta. In parallel
+// mode each quantum's accounting is deferred and overlapped with the next
+// quantum's execute phase; the final quantum's deferred accounting is
+// flushed before Run returns, so callers always observe fully merged
+// state.
 func (k *Kernel) Run(d time.Duration) {
 	stop := k.startWorkers()
 	defer stop()
 	end := k.Now() + d
 	for k.Now() < end {
-		k.quantum()
+		k.quantum(false)
 	}
+	k.flushPending()
 }
 
 // RunUntilAlert runs until the first alert or until d elapses; it reports
 // whether an alert fired. The check sits at the quantum barrier, so the
 // call returns on the exact quantum the alert fires, with the merge phase
-// complete — no alerts are lost or duplicated across the barrier.
+// complete — no alerts are lost or duplicated across the barrier. Because
+// the alert check must see each quantum's accounting before deciding
+// whether to continue, this path runs quanta in flush mode (no deferred
+// merge overlap).
 func (k *Kernel) RunUntilAlert(d time.Duration) bool {
 	stop := k.startWorkers()
 	defer stop()
 	end := k.Now() + d
 	fired := 0
 	for k.Now() < end {
-		fired += k.quantum()
+		fired += k.quantum(true)
 		if fired > 0 {
 			return true
 		}
@@ -377,16 +431,28 @@ func (k *Kernel) RunUntilAlert(d time.Duration) bool {
 //
 //  1. plan: pick tasks for all cores (a task occupies at most one core);
 //  2. execute: run every planned slice and sample per-slice RSX deltas —
-//     either inline (serial) or on the per-core workers (parallel);
-//  3. merge: apply the housekeeping for every slice in plan order.
+//     either inline (serial) or via the work-stealing pool (parallel);
+//  3. merge: rebuild the ready queue, then apply the per-slice accounting
+//     (counter deltas, window checks, alerts) in plan order.
 //
 // Only phase 2 is concurrent, and it touches exclusively per-core state;
-// the merge applies counter deltas, window checks, alerts, and the
-// ready-queue rebuild in the fixed plan order, so serial and parallel
-// execution produce bit-identical results. It returns the number of
-// alerts this quantum raised.
-func (k *Kernel) quantum() int {
+// accounting always applies in the fixed plan order, so serial and
+// parallel execution produce bit-identical results.
+//
+// In parallel mode the accounting half of the merge is deferred: the
+// plan/deltas double buffer parks quantum N's accounting, which then runs
+// on the scheduler goroutine while the pool executes quantum N+1's slices
+// — hiding the accounting latency inside the execute window instead of
+// stalling the barrier. The ready-queue rebuild cannot be deferred (the
+// next plan needs it) but is cheap: it only inspects workload completion.
+// flush forces immediate accounting; RunUntilAlert needs it so the alert
+// decision and the alert-time invariant (last alert's Time equals Now at
+// return) hold at every quantum boundary.
+//
+// It returns the number of alerts this quantum raised.
+func (k *Kernel) quantum(flush bool) int {
 	k.mu.Lock()
+	base := len(k.alerts)
 	k.buildPlan()
 	var execStart time.Time
 	if k.om != nil {
@@ -394,12 +460,32 @@ func (k *Kernel) quantum() int {
 		execStart = time.Now()
 		k.om.beginQuantum()
 	}
-	parallel := k.workers != nil
+	parallel := k.parallelRun
 	if parallel {
+		k.claim.Store(0)
 		k.workerWG.Add(len(k.workers))
 		for _, w := range k.workers {
 			w.start <- struct{}{}
 		}
+		if k.pendingMerge {
+			// Overlap: account the previous quantum while the pool runs
+			// this one. The two touch disjoint state — accounting reads
+			// prevPlan/prevDeltas and task window structures; the pool
+			// reads plan and writes deltas/per-core counters.
+			var t0 time.Time
+			if k.om != nil {
+				//lint:ignore determinism host wall clock feeds the merge-timing metrics only, never simulation state
+				t0 = time.Now()
+			}
+			k.accountPlan(k.prevPlan, k.prevDeltas, k.prevSwitch)
+			k.pendingMerge = false
+			if k.om != nil {
+				d := uint64(time.Since(t0))
+				k.om.mergeNs.Add(d)
+				k.om.mergeOverlapNs.Add(d)
+			}
+		}
+		k.stealCores()
 		var waitStart time.Time
 		if k.om != nil {
 			//lint:ignore determinism host wall clock feeds the barrier-wait metric only, never simulation state
@@ -410,6 +496,13 @@ func (k *Kernel) quantum() int {
 			k.om.mergeWaitNs.Add(uint64(time.Since(waitStart)))
 		}
 	} else {
+		if k.pendingMerge {
+			// Defensive: eligibility flipped between Runs with a merge
+			// still parked (e.g. an observer was attached). Settle it
+			// before the serial quantum.
+			k.accountPlan(k.prevPlan, k.prevDeltas, k.prevSwitch)
+			k.pendingMerge = false
+		}
 		k.runPlanSerial()
 	}
 	var mergeStart time.Time
@@ -417,11 +510,24 @@ func (k *Kernel) quantum() int {
 		//lint:ignore determinism host wall clock feeds the phase-timing metrics only, never simulation state
 		mergeStart = time.Now()
 	}
-	fired := k.merge()
+	switchTime := k.now + k.cfg.TimeSlice
+	k.rebuildRunq()
+	if parallel && !flush {
+		// Park this quantum's accounting; the next quantum's execute
+		// phase will hide it. Buffers swap so the pool never writes into
+		// a plan the deferred accounting still reads.
+		k.plan, k.prevPlan = k.prevPlan[:0], k.plan
+		k.deltas, k.prevDeltas = k.prevDeltas[:0], k.deltas
+		k.prevSwitch = switchTime
+		k.pendingMerge = true
+	} else {
+		k.accountPlan(k.plan, k.deltas, switchTime)
+	}
 	if k.om != nil {
 		k.om.observeQuantum(k, parallel, mergeStart.Sub(execStart), time.Since(mergeStart))
 	}
 	k.now += k.cfg.TimeSlice
+	fired := k.alerts[base:len(k.alerts):len(k.alerts)]
 	k.mu.Unlock()
 	// Callbacks run outside the lock so they may call the accessors.
 	if k.onAlert != nil {
@@ -433,6 +539,38 @@ func (k *Kernel) quantum() int {
 		k.om.observeAlertLatency()
 	}
 	return len(fired)
+}
+
+// flushPending settles a parked deferred merge, delivering any alerts it
+// raises. Run calls it after its final quantum so callers never observe
+// half-merged state; it is a no-op when nothing is parked.
+func (k *Kernel) flushPending() {
+	k.mu.Lock()
+	if !k.pendingMerge {
+		k.mu.Unlock()
+		return
+	}
+	base := len(k.alerts)
+	var t0 time.Time
+	if k.om != nil {
+		//lint:ignore determinism host wall clock feeds the merge-timing metrics only, never simulation state
+		t0 = time.Now()
+	}
+	k.accountPlan(k.prevPlan, k.prevDeltas, k.prevSwitch)
+	k.pendingMerge = false
+	if k.om != nil {
+		k.om.mergeNs.Add(uint64(time.Since(t0)))
+	}
+	fired := k.alerts[base:len(k.alerts):len(k.alerts)]
+	k.mu.Unlock()
+	if k.onAlert != nil {
+		for _, a := range fired {
+			k.onAlert(a)
+		}
+	}
+	if k.om != nil {
+		k.om.observeAlertLatency()
+	}
 }
 
 // buildPlan picks tasks for all cores before any of them run so that a
@@ -511,18 +649,17 @@ func (k *Kernel) nextRunnable() *Task {
 	return nil
 }
 
-// merge is the deterministic accounting phase (the paper's Figure 3 step 3
-// housekeeping, decoupled from execution): for every slice in plan order it
-// applies the sampled RSX delta to the shared tgid structure, performs the
-// window check, and rebuilds the ready queue. It returns the alerts raised
-// this quantum for post-unlock callback delivery.
+// rebuildRunq is the scheduling half of the merge: for every slice in
+// plan order it retires finished workloads and requeues the rest. It must
+// run before the next plan is built, but it is independent of the
+// accounting half — Task.exit only flips the exited flag and thread
+// counts, neither of which account reads — so the accounting for the same
+// plan can be deferred past it without changing any observable result.
 //
 //cryptojack:locked
-func (k *Kernel) merge() []Alert {
-	base := len(k.alerts)
+func (k *Kernel) rebuildRunq() {
 	for i := range k.plan {
 		p := &k.plan[i]
-		k.account(p.task, k.deltas[i])
 		if p.task.workload.Done() {
 			p.task.exit()
 			k.traceTask(obs.EvTaskExit, p.task)
@@ -530,7 +667,21 @@ func (k *Kernel) merge() []Alert {
 		}
 		k.runq = append(k.runq, p.task)
 	}
-	return k.alerts[base:len(k.alerts):len(k.alerts)]
+}
+
+// accountPlan is the deterministic accounting half of the merge (the
+// paper's Figure 3 step 3 housekeeping, decoupled from execution): for
+// every slice in plan order it applies the sampled RSX delta to the shared
+// tgid structure and performs the window check. switchTime is the
+// simulated context-switch instant of the quantum the plan belongs to —
+// passed explicitly because in deferred mode k.now has already advanced
+// past it. Alerts land on k.alerts; callers slice off their batch.
+//
+//cryptojack:locked
+func (k *Kernel) accountPlan(plan []placement, deltas []uint64, switchTime time.Duration) {
+	for i := range plan {
+		k.account(plan[i].task, deltas[i], switchTime)
+	}
 }
 
 // account is the scheduler hook minus the counter read (the delta was
@@ -539,7 +690,7 @@ func (k *Kernel) merge() []Alert {
 // check for a non-zero uid before performing any additional processing."
 //
 //cryptojack:locked
-func (k *Kernel) account(task *Task, delta uint64) {
+func (k *Kernel) account(task *Task, delta uint64, switchTime time.Duration) {
 	if !k.tunables.Enabled {
 		return
 	}
@@ -552,7 +703,6 @@ func (k *Kernel) account(task *Task, delta uint64) {
 		k.om.rsxPerSwitch.Observe(delta)
 	}
 
-	switchTime := k.now + k.cfg.TimeSlice
 	task.rsxPtr.add(delta)
 	k.checkWindow(task.rsxPtr, task, switchTime, ScopeProcess)
 

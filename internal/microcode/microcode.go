@@ -4,21 +4,35 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"darkarts/internal/isa"
 )
 
+// tableGen hands out the per-table generation numbers. A plain counter —
+// not host time, not randomness — so runs stay reproducible; uniqueness
+// is all consumers need.
+var tableGen atomic.Uint64
+
 // TagTable is an immutable set of opcodes the decode stage tags. A nil
 // *TagTable tags nothing.
+//
+// Every table carries a unique, non-zero generation number assigned at
+// construction. Consumers that pre-compute per-block tag counts (the CPU
+// package's basic-block translation cache) key those counts by the
+// generation: a firmware update installs a table with a different
+// generation, so stale pre-counts are detected with one integer compare
+// instead of a table diff.
 type TagTable struct {
 	name string
+	gen  uint64
 	tags [isa.NumOps]bool
 }
 
 // NewTagTable builds a table tagging all opcodes whose class intersects
 // classes, plus any explicitly listed extra opcodes.
 func NewTagTable(name string, classes isa.Class, extra ...isa.Op) *TagTable {
-	t := &TagTable{name: name}
+	t := &TagTable{name: name, gen: tableGen.Add(1)}
 	for _, op := range isa.AllOps() {
 		if op.Classes()&classes != 0 {
 			t.tags[op] = true
@@ -38,6 +52,19 @@ func (t *TagTable) Name() string {
 		return "none"
 	}
 	return t.name
+}
+
+// Gen returns the table's generation number: unique, non-zero, and stable
+// for the table's lifetime. The nil table is generation 0. Consumers cache
+// derived data (per-block tag pre-counts) keyed by this value and drop it
+// when the installed table's generation changes.
+//
+//cryptojack:hotpath
+func (t *TagTable) Gen() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.gen
 }
 
 // Tagged reports whether the decoder should set the RSX bit for op.

@@ -139,6 +139,32 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// AddBuckets folds externally pre-bucketed counts into the histogram:
+// counts[i] is added to bucket i and sum to the running total of observed
+// values. counts must have exactly len(bounds)+1 entries bucketed by the
+// same bounds the histogram was registered with. This is the bulk path for
+// subsystems that keep plain fixed-bucket tallies outside the registry
+// (per-core hardware-ish counters) and merge deltas at a barrier. No-op on
+// a nil receiver.
+func (h *Histogram) AddBuckets(counts []uint64, sum uint64) {
+	if h == nil {
+		return
+	}
+	if len(counts) != len(h.buckets) {
+		panic(fmt.Sprintf("obs: AddBuckets on %s: %d counts for %d buckets",
+			h.desc.key(), len(counts), len(h.buckets)))
+	}
+	var total uint64
+	for i, n := range counts {
+		if n != 0 {
+			h.buckets[i].Add(n)
+			total += n
+		}
+	}
+	h.count.Add(total)
+	h.sum.Add(sum)
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() uint64 {
 	if h == nil {
