@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race lint bench bench-json docs docscheck clean
+.PHONY: all check vet build test race lint bench bench-json bench-diff docs docscheck clean
 
 all: check race
 
@@ -54,15 +54,29 @@ race:
 	$(GO) test -race ./...
 
 # Headline throughput benchmarks (engine MIPS + parallel scheduler).
+# The fast-engine benches run 50–100M guest instructions per measurement:
+# shorter runs (20M) swing ±20% with host frequency scaling, which would
+# swallow the bench-diff gate's whole tolerance.
 bench:
-	$(GO) test -run '^$$' -bench 'FastEngineMIPS|DetailedEngineMIPS' -benchtime 20000000x .
-	$(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 10000000x .
+	$(GO) test -run '^$$' -bench 'FastEngineMIPS' -benchtime 100000000x .
+	$(GO) test -run '^$$' -bench 'DetailedEngineMIPS' -benchtime 20000000x .
+	$(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 50000000x .
 	$(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel
+
+# Perf-regression gate: re-measure the engine throughput benchmarks and
+# fail if any guarded MIPS figure (FastEngineMIPS, BlockCacheMIPS) lands
+# more than 20% below the committed BENCH_baseline.json. Run after any
+# change near internal/cpu; CI's perf-smoke job runs the same gate.
+bench-diff:
+	{ $(GO) test -run '^$$' -bench 'FastEngineMIPS' -benchtime 100000000x . ; \
+	  $(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 50000000x . ; } \
+	| $(GO) run ./cmd/benchjson -diff BENCH_baseline.json -tol 0.20
 
 # Regenerate BENCH_baseline.json from the benchmarks above.
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'FastEngineMIPS|DetailedEngineMIPS' -benchtime 20000000x . ; \
-	  $(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 10000000x . ; \
+	{ $(GO) test -run '^$$' -bench 'FastEngineMIPS' -benchtime 100000000x . ; \
+	  $(GO) test -run '^$$' -bench 'DetailedEngineMIPS' -benchtime 20000000x . ; \
+	  $(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 50000000x . ; \
 	  $(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 

@@ -12,6 +12,15 @@
 // obs.Registry.BenchJSON) can ride along in the committed baseline:
 //
 //	go test -run '^$' -bench . ./... | go run ./cmd/benchjson -merge obs.json -o BENCH_baseline.json
+//
+// -diff compares the parsed results against a committed baseline instead
+// of emitting JSON: for every record in the baseline whose name matches
+// -diff-match and carries the -diff-metric unit, a fresh measurement that
+// falls more than -tol (fraction) below the baseline fails the run. Fresh
+// records without a baseline counterpart (new benchmarks) pass with a
+// note; higher-than-baseline results always pass.
+//
+//	make bench | go run ./cmd/benchjson -diff BENCH_baseline.json -tol 0.20
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -35,6 +45,10 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	merge := flag.String("merge", "", "comma-separated JSON files (same schema) whose records are appended")
+	diff := flag.String("diff", "", "baseline JSON to compare against instead of emitting JSON")
+	tol := flag.Float64("tol", 0.20, "with -diff: allowed fractional drop below baseline")
+	diffMetric := flag.String("diff-metric", "MIPS", "with -diff: metric unit to compare")
+	diffMatch := flag.String("diff-match", "FastEngineMIPS|BlockCacheMIPS", "with -diff: regexp of benchmark names to guard")
 	flag.Parse()
 
 	results, err := parse(os.Stdin)
@@ -45,6 +59,13 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *diff != "" {
+		if err := diffBaseline(results, *diff, *diffMetric, *diffMatch, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *merge != "" {
 		extra, err := mergeFiles(strings.Split(*merge, ","))
@@ -68,6 +89,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// diffBaseline is the perf-regression gate: every baseline record whose
+// name matches the guard regexp and carries the metric must be matched by
+// a fresh measurement within tol of it. Missing fresh measurements fail
+// (the guard has rotted); baseline records outside the guard set and
+// improvements are ignored.
+func diffBaseline(fresh []Result, path, metric, match string, tol float64) error {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("diff-match: %w", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("diff: %w", err)
+	}
+	var baseline []Result
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		return fmt.Errorf("diff %s: %w", path, err)
+	}
+	cur := make(map[string]float64, len(fresh))
+	for _, r := range fresh {
+		if v, ok := r.Metrics[metric]; ok {
+			cur[r.Name] = v
+		}
+	}
+	failed := 0
+	checked := 0
+	for _, b := range baseline {
+		base, ok := b.Metrics[metric]
+		if !ok || !re.MatchString(b.Name) {
+			continue
+		}
+		checked++
+		got, ok := cur[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL %s: in baseline but not measured\n", b.Name)
+			failed++
+			continue
+		}
+		floor := base * (1 - tol)
+		verdict := "ok  "
+		if got < floor {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "%s %s: %s %.1f vs baseline %.1f (floor %.1f)\n",
+			verdict, b.Name, metric, got, base, floor)
+	}
+	for _, r := range fresh {
+		if _, ok := r.Metrics[metric]; ok && re.MatchString(r.Name) {
+			if !inBaseline(baseline, r.Name) {
+				fmt.Fprintf(os.Stderr, "note %s: not in baseline (new benchmark)\n", r.Name)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("diff: baseline %s has no %q records matching %q", path, metric, match)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d guarded benchmarks regressed more than %.0f%%", failed, checked, tol*100)
+	}
+	fmt.Fprintf(os.Stderr, "all %d guarded benchmarks within %.0f%% of baseline\n", checked, tol*100)
+	return nil
+}
+
+func inBaseline(baseline []Result, name string) bool {
+	for _, b := range baseline {
+		if b.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // mergeFiles loads Result records from each JSON file, in order.

@@ -98,3 +98,20 @@ func notHot() []byte {
 func valueLiteral() [2]uint64 {
 	return [2]uint64{1, 2} // ok: value array literal stays on the stack
 }
+
+// badTraceDispatch mimics the trace executor shape: a dispatch loop over
+// packed micro-ops that builds a per-op side-exit thunk capturing loop
+// state. The capture forces the closure (and the captured slot) to the
+// heap on every iteration — exactly the per-dispatch allocation the
+// hotpath contract exists to forbid.
+//
+//cryptojack:hotpath
+func (e *engine) badTraceDispatch(uops []uint64) func() uint64 {
+	var exit func() uint64
+	var pc uint64
+	for _, u := range uops {
+		pc += u >> 56
+		exit = func() uint64 { return pc ^ u } // want `closure in hotpath`
+	}
+	return exit
+}

@@ -89,55 +89,91 @@ type bbBlock struct {
 	// hist is the per-opcode retire histogram for a full block, applied
 	// only when characterization counters are enabled.
 	hist []opCount
+	// heat counts dispatches of this block at its entry pc; crossing
+	// traceHotThreshold triggers superblock trace construction (trace.go),
+	// after which it pins at traceHeatBlacklist.
+	heat uint16
 }
 
 // blockCache is a core's private translation cache. All state is owned by
 // the core's execution goroutine; the kernel reads stats at quantum merge.
 type blockCache struct {
 	progs map[*isa.Program]*progBlocks
-	// gen is the tag-table generation the cached pre-counts were computed
-	// under; a mismatch on Run entry drops everything.
-	gen   uint64
 	stats BBStats
 }
 
 // progBlocks holds one program's decoded blocks, densely indexed by entry
 // pc (nil = not yet decoded). Entering the middle of a cached block (a
 // branch target, or a slice boundary that split a block) simply decodes a
-// new block starting there; both stay cached.
+// new block starting there; both stay cached. Superblock traces (trace.go)
+// live alongside, indexed the same way (nil slice until the first trace).
+//
+// gen is the tag-table generation this program's pre-counts were computed
+// under. Generation is tracked per program so a firmware swap only touches
+// programs as they next run — a stale program is re-tagged in place
+// (pre-counts recomputed; decode and schedules are tag-independent) rather
+// than the whole cache being dropped.
 type progBlocks struct {
 	blocks []*bbBlock
+	traces []*trace
+	gen    uint64
+}
+
+// retag recomputes every cached pre-count of one program under a new tag
+// table: block RSX counts and tag masks, and trace RSX pre-counts.
+//
+//cryptojack:coldpath
+func (pb *progBlocks) retag(code []isa.Inst, tags *microcode.TagTable) {
+	for _, blk := range pb.blocks {
+		if blk == nil {
+			continue
+		}
+		blk.rsx = 0
+		blk.tagMask = 0
+		for i, in := range blk.ops {
+			if tags.Tagged(in.Op) {
+				blk.rsx++
+				blk.tagMask |= 1 << uint(i)
+			}
+		}
+	}
+	for _, tr := range pb.traces {
+		if tr != nil {
+			tr.retag(code, tags)
+		}
+	}
+	pb.gen = tags.Gen()
 }
 
 // BlockCacheStats returns a snapshot of the core's block-cache counters
 // (all zero when the cache is disabled or bypassed).
 func (c *Core) BlockCacheStats() BBStats { return c.bb.stats }
 
-// invalidate drops every cached block and re-keys the cache to gen. The
+// invalidate drops every cached block and trace (capacity eviction). The
 // drop is counted only if there was something to drop, so cold starts do
 // not report an invalidation.
 //
 //cryptojack:coldpath
-func (bc *blockCache) invalidate(gen uint64) {
+func (bc *blockCache) invalidate() {
 	if len(bc.progs) > 0 {
 		bc.stats.Invalidations++
 	}
 	bc.progs = nil
-	bc.gen = gen
 }
 
 // lookup returns the cached block table for prog, creating it on first
-// sight and applying the capacity bound.
+// sight (keyed to the current tag-table generation) and applying the
+// capacity bound.
 //
 //cryptojack:coldpath
-func (bc *blockCache) lookup(prog *isa.Program) *progBlocks {
+func (bc *blockCache) lookup(prog *isa.Program, gen uint64) *progBlocks {
 	if len(bc.progs) >= maxCachedProgs {
-		bc.invalidate(bc.gen)
+		bc.invalidate()
 	}
 	if bc.progs == nil {
 		bc.progs = make(map[*isa.Program]*progBlocks, 4)
 	}
-	pb := &progBlocks{blocks: make([]*bbBlock, len(prog.Code))}
+	pb := &progBlocks{blocks: make([]*bbBlock, len(prog.Code)), gen: gen}
 	bc.progs[prog] = pb
 	return pb
 }
@@ -175,6 +211,17 @@ func buildBlock(code []isa.Inst, pc int, tags *microcode.TagTable) *bbBlock {
 	return blk
 }
 
+// installTrace stores a freshly built trace, allocating the per-program
+// trace table on first use.
+//
+//cryptojack:coldpath
+func (pb *progBlocks) installTrace(pc int, tr *trace) {
+	if pb.traces == nil {
+		pb.traces = make([]*trace, len(pb.blocks))
+	}
+	pb.traces[pc] = tr
+}
+
 // runFastBlocks is the block-cached fast engine. Architectural results are
 // bit-identical to the plain per-instruction loop (runFastStep); only the
 // bookkeeping schedule differs. The tag table is sampled once per Run call,
@@ -188,14 +235,25 @@ func (c *Core) runFastBlocks(maxInsts uint64) uint64 {
 	tags := c.tagTable()
 	characterizing := c.bank.Characterizing()
 
-	if gen := tags.Gen(); gen != c.bb.gen {
-		c.bb.invalidate(gen)
-	}
+	gen := tags.Gen()
 	pb := c.bb.progs[ctx.Prog]
 	if pb == nil {
-		pb = c.bb.lookup(ctx.Prog)
+		pb = c.bb.lookup(ctx.Prog, gen)
+	} else if pb.gen != gen {
+		// Firmware swap: re-tag this program's pre-counts in place. Other
+		// cached programs are re-tagged when they next run.
+		c.bb.stats.Invalidations++
+		pb.retag(code, tags)
 	}
 	blocks := pb.blocks
+	traceOK := !c.cfg.NoTraceCache
+	// At most one trace build per Run call: when a loop first gets hot,
+	// every block on it crosses the heat threshold in the same iteration,
+	// and the first trace built usually swallows the rest of the path —
+	// building them all would pay construction cost hundreds of times for
+	// one winner. Gating also bounds the build latency a single scheduler
+	// quantum can absorb. Blocks left hot retry on later Run calls.
+	built := false
 
 	var n, rsx uint64
 	for n < maxInsts {
@@ -204,6 +262,23 @@ func (c *Core) runFastBlocks(maxInsts uint64) uint64 {
 			c.fault(ErrPCOutOfRange)
 			break
 		}
+		if traceOK && pb.traces != nil {
+			if tr := pb.traces[pc]; tr != nil && maxInsts-n >= tr.guestLen {
+				tn, trsx := c.runTrace(tr, maxInsts-n, tags, characterizing)
+				n += tn
+				rsx += trsx
+				// Deoptimize traces whose taken-path assumption has decayed:
+				// they burn rollback+replay on most entries.
+				if tr.sideExits*8 > tr.passes+64 {
+					pb.traces[pc] = nil
+					c.trStats.Deopts++
+				}
+				if ctx.Halted {
+					break
+				}
+				continue
+			}
+		}
 		blk := blocks[pc]
 		if blk == nil {
 			c.bb.stats.Misses++
@@ -211,6 +286,20 @@ func (c *Core) runFastBlocks(maxInsts uint64) uint64 {
 			blocks[pc] = blk
 		} else {
 			c.bb.stats.Hits++
+			if traceOK && blk.heat != traceHeatBlacklist {
+				if blk.heat < traceHotThreshold {
+					blk.heat++
+				}
+				if blk.heat >= traceHotThreshold && !built {
+					built = true
+					blk.heat = traceHeatBlacklist
+					c.trStats.Misses++
+					if tr := c.buildTrace(pc, tags); tr != nil {
+						pb.installTrace(pc, tr)
+						continue // dispatch through the new trace
+					}
+				}
+			}
 		}
 		retired, ok := c.execBlock(blk, maxInsts-n)
 		n += retired

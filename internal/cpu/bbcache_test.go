@@ -360,3 +360,95 @@ func TestTagTableGen(t *testing.T) {
 		seen[g] = true
 	}
 }
+
+// TestBlockCacheRetagGranularity is the per-program invalidation property:
+// a tag-table swap must re-tag only the programs that actually run under
+// the new generation — one invalidation tick each, with the decoded blocks
+// kept (no rebuild, so Misses stays flat) and the recomputed pre-counts
+// correct under the new table.
+func TestBlockCacheRetagGranularity(t *testing.T) {
+	mkLoop := func(name string, iters int64) *isa.Program {
+		b := isa.NewBuilder(name)
+		b.Movi(isa.R12, iters)
+		b.Label("loop")
+		b.OpI(isa.ROLI, isa.R1, isa.R1, 1)
+		b.OpI(isa.SHRI, isa.R2, isa.R1, 3)
+		b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+		b.Cmpi(isa.R12, 0)
+		b.Jcc(isa.JNE, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	progA := mkLoop("rotA", 20)
+	progB := mkLoop("rotB", 20)
+
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	machine, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := machine.Core(0)
+	runToHalt := func(prog *isa.Program, base uint64) {
+		t.Helper()
+		ctx, err := NewContext(prog, machine.Memory(), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.LoadContext(ctx)
+		core.Run(1 << 20)
+		if !ctx.Halted {
+			t.Fatalf("%s did not halt", prog.Name)
+		}
+	}
+
+	// Warm both programs under the initial table.
+	runToHalt(progA, 0x100_0000)
+	runToHalt(progB, 0x200_0000)
+	warm := core.BlockCacheStats()
+	if warm.Misses == 0 || warm.Invalidations != 0 {
+		t.Fatalf("warm-up stats off: %+v", warm)
+	}
+	rsxWarm := core.Counters().RSX()
+	// Prologue MOVI + 20 iterations of (ROLI+SHRI tagged) per program.
+	if rsxWarm != 2*2*20 {
+		t.Fatalf("warm RSX = %d, want 80", rsxWarm)
+	}
+
+	// Swap firmware. Nothing is invalidated until a stale program runs.
+	machine.InstallTagTable(microcode.RotateOnly())
+	if inv := core.BlockCacheStats().Invalidations; inv != 0 {
+		t.Fatalf("invalidations before any post-swap run = %d, want 0", inv)
+	}
+
+	// Running A re-tags A alone: one tick, no block rebuilds.
+	runToHalt(progA, 0x100_0000)
+	afterA := core.BlockCacheStats()
+	if afterA.Invalidations != 1 {
+		t.Fatalf("invalidations after re-running A = %d, want 1", afterA.Invalidations)
+	}
+	if afterA.Misses != warm.Misses {
+		t.Fatalf("misses grew %d -> %d: retag rebuilt blocks", warm.Misses, afterA.Misses)
+	}
+	if got := core.Counters().RSX() - rsxWarm; got != 20 { // only ROLI tagged now
+		t.Fatalf("post-swap RSX delta for A = %d, want 20", got)
+	}
+
+	// B was left stale; its own next run pays its own single tick.
+	runToHalt(progB, 0x200_0000)
+	afterB := core.BlockCacheStats()
+	if afterB.Invalidations != 2 {
+		t.Fatalf("invalidations after re-running B = %d, want 2", afterB.Invalidations)
+	}
+	if afterB.Misses != warm.Misses {
+		t.Fatalf("misses grew %d -> %d: retag rebuilt blocks", warm.Misses, afterB.Misses)
+	}
+
+	// Steady state: the new generation is recorded, so further runs under
+	// the same table re-tag nothing.
+	runToHalt(progA, 0x100_0000)
+	runToHalt(progB, 0x200_0000)
+	if inv := core.BlockCacheStats().Invalidations; inv != 2 {
+		t.Fatalf("steady-state invalidations = %d, want 2", inv)
+	}
+}

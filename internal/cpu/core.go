@@ -69,6 +69,11 @@ type Core struct {
 	// see bbcache.go).
 	bb blockCache
 
+	// eng is the superblock trace executor's state and trStats its
+	// counters (fast mode only; see trace.go).
+	eng     *traceEngine
+	trStats TraceStats
+
 	// Detailed-mode timing state (see timing.go).
 	tm timing
 }
@@ -230,9 +235,23 @@ func (c *Core) runFast(maxInsts uint64) uint64 {
 //
 //cryptojack:hotpath
 func (c *Core) runFastStep(maxInsts uint64) uint64 {
+	n, rsx := c.runFastStepTagged(maxInsts, c.tagTable())
+	c.bank.AddRSX(rsx)
+	c.bank.AddRetired(n)
+	c.bank.AddCycles(n) // nominal IPC=1 in fast mode
+	return n
+}
+
+// runFastStepTagged is the step loop under a caller-sampled tag table, with
+// the final counter-bank adds left to the caller. The trace engine replays
+// side-exit prefixes through it against the exact tag table its pass ran
+// under, so a concurrent firmware swap cannot split one Run call's
+// semantics.
+//
+//cryptojack:hotpath
+func (c *Core) runFastStepTagged(maxInsts uint64, tags *microcode.TagTable) (retired, rsxN uint64) {
 	ctx := c.ctx
 	code := ctx.Prog.Code
-	tags := c.tagTable()
 	characterizing := c.bank.Characterizing()
 	observer := c.observer
 	var n, rsx uint64
@@ -265,10 +284,7 @@ func (c *Core) runFastStep(maxInsts uint64) uint64 {
 			break
 		}
 	}
-	c.bank.AddRSX(rsx)
-	c.bank.AddRetired(n)
-	c.bank.AddCycles(n) // nominal IPC=1 in fast mode
-	return n
+	return n, rsx
 }
 
 // fault halts the context with err recorded (the acknowledged slow exit

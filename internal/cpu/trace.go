@@ -1,0 +1,1890 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"darkarts/internal/isa"
+	"darkarts/internal/mem"
+	"darkarts/internal/microcode"
+)
+
+// Superblock trace engine.
+//
+// The block cache (bbcache.go) removes per-instruction bookkeeping, but every
+// block dispatch still pays one trip through the generic dispatcher, and —
+// decisively on real hosts — the `switch in.Op` inner loop mispredicts the
+// host's indirect dispatch branch whenever consecutive guest instructions
+// have uncorrelated opcodes. Measured on the povray-profile loop, that
+// misprediction tax alone holds the fast engine near 65 MIPS while the same
+// work dispatched in a host-predictable order runs at ~340 M dispatches/s.
+//
+// When a block gets hot, this layer stitches it and its successors across
+// *taken* branches into a superblock trace and recompiles the whole path:
+//
+//   - Guest instructions become packed 8-byte micro-ops (tuop) with
+//     pre-resolved operands — threaded code for the trace executor's dense
+//     jump-table switch.
+//   - Flag definitions that no branch or trace exit ever observes are
+//     compiled to flag-free micro-op variants (dead-flag elimination), and
+//     CMP/CMPI/TEST whose flags are dead are dropped outright.
+//   - Destinations are renamed onto a 256-slot physical register file
+//     (architectural 0..31, rotating virtuals 32..251), dissolving WAR/WAW
+//     hazards so the scheduler sees the path's true dataflow.
+//   - The micro-ops are list-scheduled onto a fixed short-period *kind
+//     template*: slot k of every period dispatches the same micro-op kind,
+//     so the host's indirect-branch predictor sees a periodic target
+//     sequence and stops mispredicting. Template slots with no ready
+//     micro-op of their kind are filled with architecturally inert NOPs
+//     that reuse the same switch case (same dispatch target).
+//
+// Correctness is rollback-based, bit-identical to runFastStep:
+//
+//   - A pass snapshots the 32 architectural registers and flags on entry,
+//     and every store appends (addr, old value, size) to an undo log.
+//   - Branches stay in program order on the serialized flag chain. A branch
+//     that resolves against the trace's expectation (a side exit) reverses
+//     the undo log, restores the snapshot, and re-executes the retired
+//     prefix through the per-instruction reference interpreter — so the
+//     architectural state, RSX counts, and characterization counters of a
+//     side exit are produced by runFastStep itself.
+//   - Traces never contain faultable instructions (DIV/MOD, CALL/RET,
+//     PUSH/POP, HALT, invalid opcodes terminate construction), loads and
+//     stores in this machine never fault, and a trace is only entered when
+//     the remaining quantum covers a whole pass — so no fault or quantum
+//     boundary can ever land mid-trace.
+//
+// Traces are cached per core next to the block cache, keyed by program and
+// re-tagged (RSX pre-counts recomputed) on tag-table generation changes,
+// and torn down (deoptimized) when their side-exit rate shows the taken-path
+// assumption no longer holds.
+
+// Trace construction parameters.
+const (
+	// traceHotThreshold is the block dispatch count that triggers trace
+	// construction at that block's entry pc.
+	traceHotThreshold = 48
+	// traceHeatBlacklist marks a pc where construction failed or a trace
+	// was deoptimized; it is never retried.
+	traceHeatBlacklist = 0xFFFF
+	// maxTraceGuestLen bounds the guest instructions on a trace path.
+	maxTraceGuestLen = 16384
+	// minTraceGuestLen rejects paths too short to amortize pass setup.
+	minTraceGuestLen = 24
+	// maxTraceDispatchPerGuest rejects schedules whose NOP fill would make
+	// trace execution slower than the block engine: each dispatch costs a
+	// few nanoseconds even when perfectly predicted, so past two dispatch
+	// slots per guest instruction the block engine's plain switch wins.
+	maxTraceDispatchPerGuest = 2.0
+	// maxTraceSourceBlockLen rejects paths whose source basic blocks
+	// average more than this many guest instructions. Long fixed blocks
+	// already present the host's indirect-branch predictor with a learned,
+	// repeating opcode sequence — the block engine runs them at full
+	// speed, and a trace adds schedule overhead for nothing (measured:
+	// the straight-line sha2/aes kernels, avg blocks 31–54 insts, lose
+	// 25–30% under traces, while the branchy povray profile, avg block
+	// 21.5, gains 3×). Traces exist for branchy short-block code.
+	maxTraceSourceBlockLen = 24
+	// tracePeriod is the kind-template period (dispatch slots).
+	tracePeriod = 32
+	// traceMiscSlots is the number of wildcard dispatch slots per period.
+	// Wildcards serve non-templated kinds first and steal from the most
+	// backlogged templated queue when idle, providing the slack capacity
+	// that keeps utilization-1 slot queues from starving into NOP fills.
+	traceMiscSlots = 1
+)
+
+// Physical register file layout for the trace executor.
+const (
+	trVirtLo    = 32  // first rotating rename slot
+	trVirtHi    = 252 // one past the last rename slot
+	trNopLdBase = 253 // NOP-load base address (points at a page the trace reads)
+	trNopSrc    = 254 // NOP ALU source (holds 1)
+	trNopDst    = 255 // every NOP's destination
+)
+
+// tuop is one packed trace micro-op. The kind pre-resolves both the
+// operation and its flag behaviour, so the executor's switch is threaded
+// code: one dense jump-table dispatch per micro-op, no operand decode.
+type tuop struct {
+	kind uint8
+	rd   uint8
+	rs1  uint8
+	rs2  uint8
+	imm  int32
+}
+
+// Micro-op kinds. Plain ALU kinds write no flags; _F variants reproduce the
+// reference engine's flag semantics exactly. Branch kinds tJxx are mid-trace
+// side exits (the trace expects them taken; imm = guest instructions to
+// re-execute on the not-taken exit). tBJxx/tBJMP/tEND terminate the stream.
+const (
+	tMOV uint8 = iota
+	tMOVI
+	tMOVC // rd = consts[imm] (immediates that do not fit int32)
+	tLD
+	tLD32
+	tLD16
+	tLD8
+	tST
+	tST32
+	tST16
+	tST8
+	tSTNOP // template fill for store slots: writes engine-private scratch
+	tADD
+	tADDI
+	tSUB
+	tSUBI
+	tMUL
+	tIMUL
+	tNEG
+	tINC
+	tDEC
+	tAND
+	tANDI
+	tOR
+	tORI
+	tXOR
+	tXORI
+	tNOT
+	tSHL
+	tSHLI
+	tSHR
+	tSHRI
+	tSAR
+	tSARI
+	tROL
+	tROLI
+	tROR
+	tRORI
+	tROL32I
+	tROR32I
+	tADD_F
+	tADDI_F
+	tSUB_F
+	tSUBI_F
+	tMUL_F
+	tIMUL_F
+	tNEG_F
+	tINC_F
+	tDEC_F
+	tAND_F
+	tANDI_F
+	tOR_F
+	tORI_F
+	tXOR_F
+	tXORI_F
+	tNOT_F
+	tSHL_F
+	tSHLI_F
+	tSHR_F
+	tSHRI_F
+	tSAR_F
+	tSARI_F
+	tROL_F
+	tROLI_F
+	tROR_F
+	tRORI_F
+	tROL32I_F
+	tROR32I_F
+	tCMP
+	tCMPI
+	tTEST
+	// Fused CMPI+Jcc side exits: compare rs1 against imm and exit when the
+	// named condition FAILS (like tJE..tJAE, the kind names the path's
+	// expectation). Legal only when the compare's
+	// flags die at the branch, so the pair neither reads nor writes the
+	// trace's live flag state — fused ops sit entirely outside the flag
+	// chain and schedule as freely as plain ALU ops. The 16-bit replay
+	// count lives in rd:rs2 (imm holds the compare constant).
+	tCJEI
+	tCJNEI
+	tCJLI
+	tCJLEI
+	tCJGI
+	tCJGEI
+	tCJBI
+	tCJBEI
+	tCJAI
+	tCJAEI
+	tJE
+	tJNE
+	tJL
+	tJLE
+	tJG
+	tJGE
+	tJB
+	tJBE
+	tJA
+	tJAE
+	tBJE
+	tBJNE
+	tBJL
+	tBJLE
+	tBJG
+	tBJGE
+	tBJB
+	tBJBE
+	tBJA
+	tBJAE
+	tBJMP
+	tEND
+	tNumKinds
+)
+
+// TraceLenBounds are the inclusive bucket upper bounds of the
+// guest-instructions-per-trace-dispatch histogram in TraceStats.LenCounts
+// (the last bucket is unbounded). Exposed for the kernel's observability
+// layer, mirroring BBLenBounds.
+var TraceLenBounds = []uint64{64, 256, 1024, 4096}
+
+const traceLenBuckets = 5
+
+// TraceStats is a snapshot of one core's trace-engine counters, read under
+// the same quantum-barrier discipline as BBStats.
+type TraceStats struct {
+	// Hits counts completed trace passes (full superblock dispatches);
+	// Misses counts construction attempts (hot-threshold crossings that
+	// compiled — or tried and failed to compile — a new trace).
+	Hits   uint64
+	Misses uint64
+	// SideExits counts passes abandoned at a not-taken branch and replayed
+	// through the reference interpreter; Deopts counts traces torn down for
+	// a persistently high side-exit rate.
+	SideExits uint64
+	Deopts    uint64
+	// LenCounts histograms guest instructions retired per trace dispatch
+	// over the TraceLenBounds buckets; LenSum is their total.
+	LenCounts [traceLenBuckets]uint64
+	LenSum    uint64
+}
+
+// TraceCacheStats returns a snapshot of the core's trace-engine counters.
+func (c *Core) TraceCacheStats() TraceStats { return c.trStats }
+
+// undoEnt is one store-undo record; reversing the log restores memory to
+// its pass-entry image exactly.
+type undoEnt struct {
+	addr uint64
+	val  uint64
+	size uint8
+}
+
+// traceEngine is the per-core execution state for traces: the 256-slot
+// physical register file, a private 256-entry page-translation cache (so
+// speculative and NOP accesses never perturb the architectural TLB
+// counters), the store-undo log, and the pass-entry snapshot.
+type traceEngine struct {
+	r    [256]uint64
+	ltag [256]uint64 // page index + 1; 0 = empty
+	lpg  [256]*[mem.PageSize]byte
+	undo []undoEnt
+	snap [isa.NumRegs]uint64
+	// scratch is the target byte of tSTNOP fill micro-ops: engine-private,
+	// so NOP stores can never touch guest-visible memory.
+	scratch byte
+}
+
+// trace is one compiled superblock.
+type trace struct {
+	entry    int
+	guestLen uint64
+	uops     []tuop
+	consts   []uint64
+	// pathPCs lists the guest pcs on the path in order, used to recompute
+	// rsx after a tag-table generation change.
+	pathPCs []int32
+	rsx     uint64
+	hist    []opCount
+	// NOP-load configuration: when ok, passes preset r[trNopLdBase] to
+	// r[base]+off, an address the trace itself loads from (side-effect
+	// free); when !ok the template excludes load kinds.
+	nopBase uint8
+	nopOff  int32
+	nopLdOK bool
+	// Deoptimization counters.
+	passes    uint64
+	sideExits uint64
+}
+
+// retagTrace recomputes the trace's RSX pre-count under a new tag table.
+// Micro-ops, histogram, and schedule are tag-independent.
+func (tr *trace) retag(code []isa.Inst, tags *microcode.TagTable) {
+	tr.rsx = 0
+	for _, pc := range tr.pathPCs {
+		if tags.Tagged(code[pc].Op) {
+			tr.rsx++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace construction: path walk → micro-op compile → flag liveness →
+// register rename → template schedule.
+// ---------------------------------------------------------------------------
+
+// branchKind maps a conditional branch opcode to its side-exit micro-op
+// kind (ok=false for non-conditional-branch ops).
+func branchKind(op isa.Op) (uint8, bool) {
+	switch op {
+	case isa.JE:
+		return tJE, true
+	case isa.JNE:
+		return tJNE, true
+	case isa.JL:
+		return tJL, true
+	case isa.JLE:
+		return tJLE, true
+	case isa.JG:
+		return tJG, true
+	case isa.JGE:
+		return tJGE, true
+	case isa.JB:
+		return tJB, true
+	case isa.JBE:
+		return tJBE, true
+	case isa.JA:
+		return tJA, true
+	case isa.JAE:
+		return tJAE, true
+	default:
+		return 0, false
+	}
+}
+
+// invBranchKind returns the side-exit kind checking the inverse condition
+// of k, used for branches the trace expects NOT taken: the pass exits when
+// the inverse-of-fallthrough condition (the branch being taken) holds.
+func invBranchKind(k uint8) uint8 {
+	switch k {
+	case tJE:
+		return tJNE
+	case tJNE:
+		return tJE
+	case tJL:
+		return tJGE
+	case tJGE:
+		return tJL
+	case tJLE:
+		return tJG
+	case tJG:
+		return tJLE
+	case tJB:
+		return tJAE
+	case tJAE:
+		return tJB
+	case tJBE:
+		return tJA
+	default: // tJA
+		return tJBE
+	}
+}
+
+// tuopMeta carries per-micro-op compile facts the scheduler needs but the
+// executor does not: the original (pre-rename) memory base register and
+// access size for alias analysis.
+type tuopMeta struct {
+	origBase uint8 // memory ops: architectural base register
+	memSize  uint8 // 0 = not a memory op
+	isStore  bool
+}
+
+// fitsI32 reports whether v survives an int64→int32→int64 round trip.
+func fitsI32(v int64) bool { return int64(int32(v)) == v }
+
+// buildTrace compiles the superblock starting at entry, or returns nil if
+// no worthwhile trace exists there. The path walk interprets the program
+// concretely from the core's live architectural state (stores buffered in a
+// private overlay so nothing is mutated): every branch is resolved with
+// real data, so the trace is the path the program is actually executing —
+// classic trace caching — rather than a static direction guess. Branches
+// compile to side exits checking the direction the walk observed; the
+// deoptimizer tears the trace down if the data later drifts.
+//
+//cryptojack:coldpath
+func (c *Core) buildTrace(entry int, tags *microcode.TagTable) *trace {
+	code := c.ctx.Prog.Code
+	type rawOp struct {
+		u    tuop
+		meta tuopMeta
+		// flagWrite/flagRead classify the op for liveness and the
+		// scheduler's serialized flag chain.
+		flagWrite bool
+		flagRead  bool
+	}
+	var (
+		raw      []rawOp
+		pathPCs  []int32
+		consts   []uint64
+		termKind uint8 = tEND
+		termImm  int32 = -1
+	)
+	// defined tracks architectural registers written on the path, for
+	// base-invariance (alias analysis and NOP-load base selection).
+	var defined [isa.NumRegs]bool
+
+	emit := func(u tuop, m tuopMeta, fw, fr bool) {
+		raw = append(raw, rawOp{u: u, meta: m, flagWrite: fw, flagRead: fr})
+	}
+	// immOp reports whether op carries an int32-checked immediate operand.
+	immOp := func(op isa.Op) bool {
+		switch op {
+		case isa.MOVI: // handled via the constant pool instead
+			return false
+		case isa.LEA, isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.XORI,
+			isa.SHLI, isa.SHRI, isa.SARI, isa.ROLI, isa.RORI,
+			isa.ROL32I, isa.ROR32I, isa.CMPI,
+			isa.LD, isa.LD32, isa.LD16, isa.LD8,
+			isa.ST, isa.ST32, isa.ST16, isa.ST8:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// Concrete walk state: a copy of the architectural registers and flags,
+	// and a byte-granular store overlay (reads check it first, writes only
+	// touch it).
+	var regs [isa.NumRegs]uint64
+	copy(regs[:], c.ctx.Regs[:])
+	f := c.ctx.Flags
+	overlay := make(map[uint64]byte)
+	oread := func(addr uint64, size int) uint64 {
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			b, ok := overlay[addr+uint64(i)]
+			if !ok {
+				b = byte(c.mem.Read(addr+uint64(i), 1))
+			}
+			v = v<<8 | uint64(b)
+		}
+		return v
+	}
+	owrite := func(addr, v uint64, size int) {
+		for i := 0; i < size; i++ {
+			overlay[addr+uint64(i)] = byte(v >> (8 * uint(i)))
+		}
+	}
+	// alu emits a flag-writing ALU micro-op in its plain (flag-free) form
+	// (the liveness pass promotes the ones whose flags are observed) and
+	// commits its concretely computed result. Callers have already verified
+	// any immediate fits int32.
+	alu := func(plain uint8, in isa.Inst, withRs2 bool, res uint64, fl Flags) {
+		u := tuop{kind: plain, rd: uint8(in.Rd), rs1: uint8(in.Rs1)}
+		if withRs2 {
+			u.rs2 = uint8(in.Rs2)
+		} else {
+			u.imm = int32(in.Imm)
+		}
+		emit(u, tuopMeta{}, true, false)
+		regs[in.Rd] = res
+		f = fl
+	}
+
+	pc := entry
+	branches := 0 // control transfers on the path (source block count - 1)
+walk:
+	for len(pathPCs) < maxTraceGuestLen {
+		if uint(pc) >= uint(len(code)) {
+			// Falls off the image: end the trace here so the dispatcher's
+			// bounds check raises the fault with exact state.
+			termImm = int32(pc)
+			break
+		}
+		in := code[pc]
+		cur := pc
+		pc++
+		if immOp(in.Op) && !fitsI32(in.Imm) {
+			// Immediate exceeds the packed micro-op field: end the trace
+			// here; the block path executes this instruction.
+			termImm = int32(cur)
+			break walk
+		}
+		switch in.Op {
+		case isa.NOP:
+			// Retires (counted on the path) but compiles to nothing.
+		case isa.MOV:
+			emit(tuop{kind: tMOV, rd: uint8(in.Rd), rs1: uint8(in.Rs1)}, tuopMeta{}, false, false)
+			regs[in.Rd] = regs[in.Rs1]
+		case isa.MOVI:
+			if fitsI32(in.Imm) {
+				emit(tuop{kind: tMOVI, rd: uint8(in.Rd), imm: int32(in.Imm)}, tuopMeta{}, false, false)
+			} else {
+				consts = append(consts, uint64(in.Imm))
+				emit(tuop{kind: tMOVC, rd: uint8(in.Rd), imm: int32(len(consts) - 1)}, tuopMeta{}, false, false)
+			}
+			regs[in.Rd] = uint64(in.Imm)
+		case isa.LEA:
+			// LEA is ADDI without flags.
+			emit(tuop{kind: tADDI, rd: uint8(in.Rd), rs1: uint8(in.Rs1), imm: int32(in.Imm)}, tuopMeta{}, false, false)
+			regs[in.Rd] = regs[in.Rs1] + uint64(in.Imm)
+
+		case isa.LD, isa.LD32, isa.LD16, isa.LD8:
+			var k, sz uint8
+			switch in.Op {
+			case isa.LD:
+				k, sz = tLD, 8
+			case isa.LD32:
+				k, sz = tLD32, 4
+			case isa.LD16:
+				k, sz = tLD16, 2
+			default:
+				k, sz = tLD8, 1
+			}
+			emit(tuop{kind: k, rd: uint8(in.Rd), rs1: uint8(in.Rs1), imm: int32(in.Imm)},
+				tuopMeta{origBase: uint8(in.Rs1), memSize: sz}, false, false)
+			regs[in.Rd] = oread(regs[in.Rs1]+uint64(in.Imm), int(sz))
+		case isa.ST, isa.ST32, isa.ST16, isa.ST8:
+			var k, sz uint8
+			switch in.Op {
+			case isa.ST:
+				k, sz = tST, 8
+			case isa.ST32:
+				k, sz = tST32, 4
+			case isa.ST16:
+				k, sz = tST16, 2
+			default:
+				k, sz = tST8, 1
+			}
+			emit(tuop{kind: k, rs1: uint8(in.Rs1), rs2: uint8(in.Rs2), imm: int32(in.Imm)},
+				tuopMeta{origBase: uint8(in.Rs1), memSize: sz, isStore: true}, false, false)
+			owrite(regs[in.Rs1]+uint64(in.Imm), regs[in.Rs2], int(sz))
+
+		case isa.ADD:
+			a, b := regs[in.Rs1], regs[in.Rs2]
+			alu(tADD, in, true, a+b, addFlags(a, b, a+b))
+		case isa.ADDI:
+			a, b := regs[in.Rs1], uint64(in.Imm)
+			alu(tADDI, in, false, a+b, addFlags(a, b, a+b))
+		case isa.SUB:
+			a, b := regs[in.Rs1], regs[in.Rs2]
+			alu(tSUB, in, true, a-b, subFlags(a, b, a-b))
+		case isa.SUBI:
+			a, b := regs[in.Rs1], uint64(in.Imm)
+			alu(tSUBI, in, false, a-b, subFlags(a, b, a-b))
+		case isa.MUL:
+			res := regs[in.Rs1] * regs[in.Rs2]
+			alu(tMUL, in, true, res, logicFlags(res))
+		case isa.IMUL:
+			res := uint64(int64(regs[in.Rs1]) * int64(regs[in.Rs2]))
+			alu(tIMUL, in, true, res, logicFlags(res))
+		case isa.NEG:
+			res := -regs[in.Rs1]
+			emit(tuop{kind: tNEG, rd: uint8(in.Rd), rs1: uint8(in.Rs1)}, tuopMeta{}, true, false)
+			regs[in.Rd] = res
+			f = logicFlags(res)
+		case isa.INC:
+			// INC/DEC read and write Rd; compiled two-operand so renaming
+			// can separate the versions.
+			res := regs[in.Rd] + 1
+			emit(tuop{kind: tINC, rd: uint8(in.Rd), rs1: uint8(in.Rd)}, tuopMeta{}, true, false)
+			regs[in.Rd] = res
+			f = logicFlags(res)
+		case isa.DEC:
+			res := regs[in.Rd] - 1
+			emit(tuop{kind: tDEC, rd: uint8(in.Rd), rs1: uint8(in.Rd)}, tuopMeta{}, true, false)
+			regs[in.Rd] = res
+			f = logicFlags(res)
+		case isa.AND:
+			res := regs[in.Rs1] & regs[in.Rs2]
+			alu(tAND, in, true, res, logicFlags(res))
+		case isa.ANDI:
+			res := regs[in.Rs1] & uint64(in.Imm)
+			alu(tANDI, in, false, res, logicFlags(res))
+		case isa.OR:
+			res := regs[in.Rs1] | regs[in.Rs2]
+			alu(tOR, in, true, res, logicFlags(res))
+		case isa.ORI:
+			res := regs[in.Rs1] | uint64(in.Imm)
+			alu(tORI, in, false, res, logicFlags(res))
+		case isa.XOR:
+			res := regs[in.Rs1] ^ regs[in.Rs2]
+			alu(tXOR, in, true, res, logicFlags(res))
+		case isa.XORI:
+			res := regs[in.Rs1] ^ uint64(in.Imm)
+			alu(tXORI, in, false, res, logicFlags(res))
+		case isa.NOT:
+			res := ^regs[in.Rs1]
+			emit(tuop{kind: tNOT, rd: uint8(in.Rd), rs1: uint8(in.Rs1)}, tuopMeta{}, true, false)
+			regs[in.Rd] = res
+			f = logicFlags(res)
+		case isa.SHL:
+			res := regs[in.Rs1] << (regs[in.Rs2] & 63)
+			alu(tSHL, in, true, res, logicFlags(res))
+		case isa.SHLI:
+			res := regs[in.Rs1] << (uint64(in.Imm) & 63)
+			alu(tSHLI, in, false, res, logicFlags(res))
+		case isa.SHR:
+			res := regs[in.Rs1] >> (regs[in.Rs2] & 63)
+			alu(tSHR, in, true, res, logicFlags(res))
+		case isa.SHRI:
+			res := regs[in.Rs1] >> (uint64(in.Imm) & 63)
+			alu(tSHRI, in, false, res, logicFlags(res))
+		case isa.SAR:
+			res := uint64(int64(regs[in.Rs1]) >> (regs[in.Rs2] & 63))
+			alu(tSAR, in, true, res, logicFlags(res))
+		case isa.SARI:
+			res := uint64(int64(regs[in.Rs1]) >> (uint64(in.Imm) & 63))
+			alu(tSARI, in, false, res, logicFlags(res))
+		case isa.ROL:
+			res := bits.RotateLeft64(regs[in.Rs1], int(regs[in.Rs2]&63))
+			alu(tROL, in, true, res, logicFlags(res))
+		case isa.ROLI:
+			res := bits.RotateLeft64(regs[in.Rs1], int(uint64(in.Imm)&63))
+			alu(tROLI, in, false, res, logicFlags(res))
+		case isa.ROR:
+			res := bits.RotateLeft64(regs[in.Rs1], -int(regs[in.Rs2]&63))
+			alu(tROR, in, true, res, logicFlags(res))
+		case isa.RORI:
+			res := bits.RotateLeft64(regs[in.Rs1], -int(uint64(in.Imm)&63))
+			alu(tRORI, in, false, res, logicFlags(res))
+		case isa.ROL32I:
+			res := uint64(bits.RotateLeft32(uint32(regs[in.Rs1]), int(uint64(in.Imm)&31)))
+			alu(tROL32I, in, false, res, logicFlags(res))
+		case isa.ROR32I:
+			res := uint64(bits.RotateLeft32(uint32(regs[in.Rs1]), -int(uint64(in.Imm)&31)))
+			alu(tROR32I, in, false, res, logicFlags(res))
+
+		case isa.CMP:
+			a, b := regs[in.Rs1], regs[in.Rs2]
+			emit(tuop{kind: tCMP, rs1: uint8(in.Rs1), rs2: uint8(in.Rs2)}, tuopMeta{}, true, false)
+			f = subFlags(a, b, a-b)
+		case isa.CMPI:
+			a, b := regs[in.Rs1], uint64(in.Imm)
+			emit(tuop{kind: tCMPI, rs1: uint8(in.Rs1), imm: int32(in.Imm)}, tuopMeta{}, true, false)
+			f = subFlags(a, b, a-b)
+		case isa.TEST:
+			emit(tuop{kind: tTEST, rs1: uint8(in.Rs1), rs2: uint8(in.Rs2)}, tuopMeta{}, true, false)
+			f = logicFlags(regs[in.Rs1] & regs[in.Rs2])
+
+		case isa.JMP:
+			branches++
+			t := int(in.Imm)
+			if t == entry {
+				termKind = tBJMP
+				pathPCs = append(pathPCs, int32(cur))
+				break walk
+			}
+			pc = t // retires on the path, no micro-op
+		case isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE,
+			isa.JB, isa.JBE, isa.JA, isa.JAE:
+			branches++
+			k, _ := branchKind(in.Op)
+			t := int(in.Imm)
+			taken := condTaken(in.Op, f)
+			if taken && t == entry {
+				// Taken back edge to the entry: the trace loops while the
+				// condition holds and exits to the fallthrough with all
+				// state materialized when it stops.
+				termKind = k - tJE + tBJE
+				termImm = int32(cur + 1)
+				pathPCs = append(pathPCs, int32(cur))
+				break walk
+			}
+			// Mid-trace branch: the trace follows the direction the walk
+			// observed, and the side exit fires on the opposite one. imm is
+			// the exact guest prefix (through this branch) the reference
+			// interpreter replays on a side exit — the replay re-resolves
+			// the branch itself, so the recorded direction only affects
+			// performance, never architectural state.
+			if taken {
+				emit(tuop{kind: k, imm: int32(len(pathPCs) + 1)}, tuopMeta{}, false, true)
+				pc = t
+			} else {
+				emit(tuop{kind: invBranchKind(k), imm: int32(len(pathPCs) + 1)}, tuopMeta{}, false, true)
+			}
+
+		default:
+			// DIV/MOD, CALL/RET, PUSH/POP, HALT, invalid: never inside a
+			// trace. End here; the dispatcher's block path handles them
+			// with exact fault/retire semantics.
+			termImm = int32(cur)
+			break walk
+		}
+		if uint(in.Rd) < isa.NumRegs {
+			switch in.Op {
+			case isa.NOP, isa.ST, isa.ST32, isa.ST16, isa.ST8,
+				isa.CMP, isa.CMPI, isa.TEST,
+				isa.JMP, isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE,
+				isa.JB, isa.JBE, isa.JA, isa.JAE, isa.HALT:
+			default:
+				defined[in.Rd] = true
+			}
+		}
+		pathPCs = append(pathPCs, int32(cur))
+		if pc == entry {
+			termKind = tBJMP // closed the loop via fallthrough
+			break
+		}
+	}
+	if termKind == tEND && termImm < 0 {
+		termImm = int32(pc) // length cap: exit to wherever the walk stopped
+	}
+	if len(pathPCs) < minTraceGuestLen {
+		return nil
+	}
+	if len(pathPCs) > maxTraceSourceBlockLen*(branches+1) {
+		// Long straight-line blocks: the block engine already runs these
+		// at host-predictable full speed. Not our market.
+		return nil
+	}
+
+	// Dead-flag elimination, walking backward. Flags are live at the
+	// terminator (a clean exit must leave exact ctx.Flags, and a
+	// conditional back edge reads them). A live flag write is promoted to
+	// its _F variant and satisfies the demand; a dead CMP/CMPI/TEST has no
+	// other effect and is dropped.
+	live := true
+	liveAfter := make([]bool, len(raw))
+	for i := len(raw) - 1; i >= 0; i-- {
+		liveAfter[i] = live
+		op := &raw[i]
+		if op.flagRead {
+			live = true
+			continue
+		}
+		if !op.flagWrite {
+			continue
+		}
+		if live {
+			switch op.u.kind {
+			case tCMP, tCMPI, tTEST: // already flag-only
+			default:
+				op.u.kind += tADD_F - tADD
+			}
+			live = false
+			continue
+		}
+		switch op.u.kind {
+		case tCMP, tCMPI, tTEST:
+			op.u.kind = tNumKinds // dead: drop below
+		}
+		op.flagWrite = false
+	}
+	// Fuse adjacent CMPI+Jcc pairs whose flags die at the branch into one
+	// compare-and-exit uop. The fused op computes the subtraction flags
+	// locally — it neither reads nor writes the trace's live flag state —
+	// so it leaves the serial flag chain and the misc-only dispatch slot
+	// for a template slot of its own. Out-of-order exit checks are sound
+	// because a side exit restores the entry snapshot and replays
+	// interpretively; only the replay count must be exact, and it is
+	// carried in the uop.
+	for i := 0; i+1 < len(raw); i++ {
+		cmp, br := &raw[i], &raw[i+1]
+		if cmp.u.kind != tCMPI || !cmp.flagWrite {
+			continue
+		}
+		if br.u.kind < tJE || br.u.kind > tJAE || liveAfter[i+1] {
+			continue
+		}
+		ec := br.u.imm
+		cmp.u = tuop{
+			kind: tCJEI + (br.u.kind - tJE),
+			rd:   uint8(ec >> 8),
+			rs1:  cmp.u.rs1,
+			rs2:  uint8(ec),
+			imm:  cmp.u.imm,
+		}
+		cmp.flagWrite = false
+		br.u.kind = tNumKinds // consumed by the fusion: drop below
+		i++
+	}
+	uops := make([]tuop, 0, len(raw))
+	meta := make([]tuopMeta, 0, len(raw))
+	flagW := make([]bool, 0, len(raw))
+	flagR := make([]bool, 0, len(raw))
+	for i := range raw {
+		if raw[i].u.kind == tNumKinds {
+			continue // dead CMP/CMPI/TEST
+		}
+		// Canonicalize flag-free kinds that are special cases of ADDI/XORI.
+		// Fewer, larger kind populations mean each template slot's ready
+		// queue runs dry less often, so the schedule needs fewer NOP fills.
+		switch u := &raw[i].u; {
+		case u.kind == tMOV:
+			u.kind, u.imm = tADDI, 0
+		case u.kind == tINC:
+			u.kind, u.imm = tADDI, 1
+		case u.kind == tDEC:
+			u.kind, u.imm = tADDI, -1
+		case u.kind == tSUBI:
+			if u.imm != math.MinInt32 {
+				u.kind, u.imm = tADDI, -u.imm
+			}
+		case u.kind == tNOT:
+			u.kind, u.imm = tXORI, -1
+		}
+		uops = append(uops, raw[i].u)
+		meta = append(meta, raw[i].meta)
+		flagW = append(flagW, raw[i].flagWrite)
+		flagR = append(flagR, raw[i].flagRead)
+	}
+
+	tr := &trace{
+		entry:    entry,
+		guestLen: uint64(len(pathPCs)),
+		consts:   consts,
+		pathPCs:  pathPCs,
+	}
+	tr.retag(code, tags)
+	var perOp [isa.NumOps]uint64
+	for _, ppc := range pathPCs {
+		perOp[code[ppc].Op]++
+	}
+	for op, n := range perOp {
+		if n > 0 {
+			tr.hist = append(tr.hist, opCount{op: isa.Op(op), n: n})
+		}
+	}
+	// NOP-load base: the first load whose base register is invariant on the
+	// path. Its page is one the trace genuinely reads, so redundant NOP
+	// loads from it are architecturally inert and TLB-warm.
+	for i := range uops {
+		if meta[i].memSize != 0 && !meta[i].isStore && !defined[meta[i].origBase] {
+			tr.nopBase, tr.nopOff, tr.nopLdOK = meta[i].origBase, uops[i].imm, true
+			break
+		}
+	}
+
+	renamed, invariant := traceRename(uops, &defined)
+	sched := traceSchedule(renamed, meta, flagW, flagR, invariant, tr.nopLdOK,
+		tuop{kind: termKind, imm: termImm})
+	if sched == nil ||
+		float64(len(sched)) > maxTraceDispatchPerGuest*float64(tr.guestLen) {
+		return nil
+	}
+	tr.uops = sched
+	return tr
+}
+
+// traceRename rewrites destinations onto the rotating virtual pool,
+// leaving each architectural register's final definition in place so the
+// stream's end state lives in r[0..31]. It returns the renamed stream and
+// the invariance map (architectural registers never written on the path),
+// which the scheduler's alias analysis keys on.
+func traceRename(uops []tuop, defined *[isa.NumRegs]bool) ([]tuop, *[isa.NumRegs]bool) {
+	lastDef := make(map[uint8]int, isa.NumRegs)
+	for i := range uops {
+		if tuopHasDst(uops[i].kind) {
+			lastDef[uops[i].rd] = i
+		}
+	}
+	var cur [isa.NumRegs]uint8
+	for i := range cur {
+		cur[i] = uint8(i)
+	}
+	out := make([]tuop, len(uops))
+	next := uint8(trVirtLo)
+	for i := range uops {
+		u := uops[i]
+		s1, s2 := tuopSrcs(u.kind)
+		if s1 {
+			u.rs1 = cur[u.rs1]
+		}
+		if s2 {
+			u.rs2 = cur[u.rs2]
+		}
+		if tuopHasDst(u.kind) {
+			orig := u.rd
+			if lastDef[orig] == i {
+				u.rd = orig
+			} else {
+				u.rd = next
+				next++
+				if next == trVirtHi {
+					next = trVirtLo
+				}
+			}
+			cur[orig] = u.rd
+		}
+		out[i] = u
+	}
+	return out, defined
+}
+
+// tuopHasDst reports whether kind k writes a destination register.
+func tuopHasDst(k uint8) bool {
+	switch k {
+	case tST, tST32, tST16, tST8, tSTNOP, tCMP, tCMPI, tTEST,
+		tJE, tJNE, tJL, tJLE, tJG, tJGE, tJB, tJBE, tJA, tJAE:
+		return false
+	}
+	return k < tCMP // terminators carry no registers either
+}
+
+// tuopSrcs reports which source register fields kind k reads.
+func tuopSrcs(k uint8) (s1, s2 bool) {
+	switch k {
+	case tMOVI, tMOVC, tSTNOP,
+		tJE, tJNE, tJL, tJLE, tJG, tJGE, tJB, tJBE, tJA, tJAE:
+		return false, false
+	case tMOV, tNOT, tNOT_F, tNEG, tNEG_F, tINC, tINC_F, tDEC, tDEC_F,
+		tADDI, tADDI_F, tSUBI, tSUBI_F, tANDI, tANDI_F, tORI, tORI_F,
+		tXORI, tXORI_F, tSHLI, tSHLI_F, tSHRI, tSHRI_F, tSARI, tSARI_F,
+		tROLI, tROLI_F, tRORI, tRORI_F, tROL32I, tROL32I_F, tROR32I, tROR32I_F,
+		tLD, tLD32, tLD16, tLD8, tCMPI,
+		tCJEI, tCJNEI, tCJLI, tCJLEI, tCJGI, tCJGEI, tCJBI, tCJBEI, tCJAI, tCJAEI:
+		return true, false
+	}
+	if k >= tBJE {
+		return false, false
+	}
+	return true, true // three-operand ALU and _F forms, stores, CMP, TEST
+}
+
+// templateEligible reports whether kind k may own template slots. Flag
+// writers and readers are excluded (a NOP in their slot would clobber or
+// need flags), as is tMOVC (its NOP form would index an empty pool); loads
+// are eligible only when the trace has a safe NOP-load base address.
+func templateEligible(k uint8, nopLdOK bool) bool {
+	switch {
+	case k >= tCJEI && k <= tCJAEI:
+		// Fused compare-exits carry their own flag context, so an inert
+		// never-exiting compare makes a sound NOP for their slots.
+		return true
+	case k >= tADD_F: // _F forms, CMP/CMPI/TEST, branches, terminators
+		return false
+	case k == tMOVC:
+		return false
+	case k == tLD || k == tLD32 || k == tLD16 || k == tLD8:
+		return nopLdOK
+	}
+	return true
+}
+
+// traceNopFor returns an architecturally inert micro-op dispatching through
+// (nearly) the same switch case as kind k: ALU NOPs write the scratch
+// destination from the scratch source, load NOPs re-read a page the trace
+// already reads, and store-slot NOPs write one engine-private byte.
+func traceNopFor(k uint8) tuop {
+	switch k {
+	case tLD, tLD32, tLD16, tLD8:
+		return tuop{kind: k, rd: trNopDst, rs1: trNopLdBase}
+	case tST, tST32, tST16, tST8:
+		return tuop{kind: tSTNOP}
+	case tMOVI:
+		return tuop{kind: tMOVI, rd: trNopDst, imm: 1}
+	case tCJEI, tCJLEI, tCJBEI:
+		// Fused compare-exits fire when their condition FAILS, so the NOP
+		// compare must satisfy it. trNopSrc holds 1: 1 == 1, 1 <= 1, 1 <=u 1.
+		return tuop{kind: k, rs1: trNopSrc, imm: 1}
+	case tCJLI, tCJBI:
+		return tuop{kind: k, rs1: trNopSrc, imm: 2} // 1 < 2, 1 <u 2
+	case tCJNEI, tCJGI, tCJGEI, tCJAI, tCJAEI:
+		return tuop{kind: k, rs1: trNopSrc, imm: 0} // 1 ≷ 0 on every other axis
+	default:
+		return tuop{kind: k, rd: trNopDst, rs1: trNopSrc, rs2: trNopSrc, imm: 1}
+	}
+}
+
+// traceTemplate lays out one dispatch period: the final slot is the misc
+// wildcard (flag ops, branches, rare kinds — one tolerated host
+// misprediction per period) and the body slots are split among the
+// stream's eligible kinds proportionally, spread evenly so each kind's
+// dispatch cadence is as regular as possible.
+func traceTemplate(uops []tuop, nopLdOK bool) []uint8 {
+	const miscSlot = uint8(0xFF)
+	var count [tNumKinds]int
+	total := 0
+	for i := range uops {
+		k := uops[i].kind
+		if templateEligible(k, nopLdOK) {
+			count[k]++
+			total++
+		}
+	}
+	tmpl := make([]uint8, tracePeriod)
+	for i := range tmpl {
+		tmpl[i] = miscSlot
+	}
+	if total == 0 {
+		return tmpl // pure misc: emission degenerates to program order
+	}
+	body := tracePeriod - traceMiscSlots
+	// Kinds too rare to sustain a template slot go through the misc wildcard
+	// instead: a sub-half-slot share leaves its slot NOP-filled most periods.
+	// The diverted mass is capped at roughly half the wildcard's capacity so
+	// the misc slot keeps slack for stealing backlogged templated kinds.
+	var dropped [tNumKinds]bool
+	budget := total * traceMiscSlots / (2 * tracePeriod)
+	for {
+		rarest, rn := -1, 0
+		for k := range count {
+			if count[k] > 0 && !dropped[k] && (rarest < 0 || count[k] < rn) {
+				rarest, rn = k, count[k]
+			}
+		}
+		if rarest < 0 || rn > budget ||
+			float64(rn)*float64(body) >= 0.5*float64(total) {
+			break
+		}
+		dropped[rarest] = true
+		budget -= rn
+		total -= rn
+	}
+	if total == 0 {
+		return tmpl
+	}
+	type share struct {
+		k    uint8
+		want float64
+		acc  float64
+	}
+	var shares []share
+	for k := range count {
+		if count[k] > 0 && !dropped[k] {
+			shares = append(shares, share{k: uint8(k), want: float64(count[k]) * float64(body) / float64(total)})
+		}
+	}
+	// Wildcard slots sit at even spacing through the period; body slots fill
+	// the gaps in proportional-accumulator order.
+	for i := 0; i < tracePeriod; i++ {
+		if (i+1)*traceMiscSlots/tracePeriod != i*traceMiscSlots/tracePeriod {
+			continue // reserved wildcard position
+		}
+		best := -1
+		for j := range shares {
+			shares[j].acc += shares[j].want
+			if best < 0 || shares[j].acc > shares[best].acc {
+				best = j
+			}
+		}
+		tmpl[i] = shares[best].k
+		shares[best].acc -= float64(body)
+	}
+	return tmpl
+}
+
+// memKey addresses one guest byte of a disambiguated access for the
+// scheduler's exact alias analysis.
+type memKey struct {
+	base uint8
+	off  int32
+}
+
+// traceSchedule builds the dependence graph over the renamed stream and
+// list-schedules it onto the kind template, filling empty slots with inert
+// NOPs and pinning the terminator after every real micro-op. It returns
+// the dispatch stream (nil only on internal inconsistency).
+//
+// Edges: RAW/WAR/WAW on physical registers (WAR/WAW only where the rename
+// pool wrapped); one serialized chain through every flag writer and reader
+// (so branches resolve in program order with exact flags); byte-granular
+// load/store ordering for accesses whose base register is invariant on the
+// path; and a conservative barrier scheme for the rest. Stores may float
+// above unresolved branches freely — the undo log makes memory rollback
+// exact on a side exit.
+func traceSchedule(uops []tuop, meta []tuopMeta, flagW, flagR []bool,
+	invariant *[isa.NumRegs]bool, nopLdOK bool, term tuop) []tuop {
+	n := len(uops)
+	succ := make([][]int32, n)
+	indeg := make([]int32, n)
+	addEdge := func(a, b int) {
+		succ[a] = append(succ[a], int32(b))
+		indeg[b]++
+	}
+
+	var lastWrite [256]int
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+	var lastReads [256][]int
+	lastFlag := -1
+	stByByte := make(map[memKey]int)
+	ldByByte := make(map[memKey][]int)
+	lastAmbStore := -1
+	var memSince, storesSince, ambLoadsSince []int
+
+	for i := 0; i < n; i++ {
+		u := &uops[i]
+		s1, s2 := tuopSrcs(u.kind)
+		if s1 {
+			if w := lastWrite[u.rs1]; w >= 0 {
+				addEdge(w, i)
+			}
+			lastReads[u.rs1] = append(lastReads[u.rs1], i)
+		}
+		if s2 && (!s1 || u.rs2 != u.rs1) {
+			if w := lastWrite[u.rs2]; w >= 0 {
+				addEdge(w, i)
+			}
+			lastReads[u.rs2] = append(lastReads[u.rs2], i)
+		}
+		if tuopHasDst(u.kind) {
+			d := u.rd
+			if w := lastWrite[d]; w >= 0 {
+				addEdge(w, i)
+			}
+			for _, rj := range lastReads[d] {
+				if rj != i {
+					addEdge(rj, i)
+				}
+			}
+			lastWrite[d] = i
+			lastReads[d] = lastReads[d][:0]
+		}
+		if flagW[i] || flagR[i] {
+			if lastFlag >= 0 {
+				addEdge(lastFlag, i)
+			}
+			lastFlag = i
+		}
+		if sz := meta[i].memSize; sz != 0 {
+			if lastAmbStore >= 0 {
+				addEdge(lastAmbStore, i)
+			}
+			disamb := invariant[meta[i].origBase]
+			if meta[i].isStore {
+				switch {
+				case disamb:
+					for _, al := range ambLoadsSince {
+						addEdge(al, i)
+					}
+					for k := int32(0); k < int32(sz); k++ {
+						key := memKey{base: meta[i].origBase, off: u.imm + k}
+						if p, ok := stByByte[key]; ok {
+							addEdge(p, i)
+						}
+						for _, p := range ldByByte[key] {
+							addEdge(p, i)
+						}
+						stByByte[key] = i
+						delete(ldByByte, key)
+					}
+				default: // ambiguous store: full barrier
+					for _, p := range memSince {
+						addEdge(p, i)
+					}
+					lastAmbStore = i
+					memSince = memSince[:0]
+					storesSince = storesSince[:0]
+					ambLoadsSince = ambLoadsSince[:0]
+					// Byte maps restart: prior entries are ordered via the
+					// barrier chain.
+					stByByte = make(map[memKey]int)
+					ldByByte = make(map[memKey][]int)
+				}
+				storesSince = append(storesSince, i)
+			} else {
+				switch {
+				case disamb:
+					for k := int32(0); k < int32(sz); k++ {
+						key := memKey{base: meta[i].origBase, off: u.imm + k}
+						if p, ok := stByByte[key]; ok {
+							addEdge(p, i)
+						}
+						ldByByte[key] = append(ldByByte[key], i)
+					}
+				default: // ambiguous load: after every store so far
+					for _, p := range storesSince {
+						addEdge(p, i)
+					}
+					ambLoadsSince = append(ambLoadsSince, i)
+				}
+			}
+			memSince = append(memSince, i)
+		}
+	}
+
+	tmpl := traceTemplate(uops, nopLdOK)
+	const miscSlot = uint8(0xFF)
+	var templated [tNumKinds]bool
+	for _, k := range tmpl {
+		if k != miscSlot {
+			templated[k] = true
+		}
+	}
+
+	// Critical-path heights order each ready queue: retiring the deepest op
+	// first unlocks long dependence chains early, keeping the frontier wide
+	// so slot queues run dry less often.
+	height := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		var h int32
+		for _, s := range succ[i] {
+			if height[s]+1 > h {
+				h = height[s] + 1
+			}
+		}
+		height[i] = h
+	}
+	popDeepest := func(q []int32) (int32, []int32) {
+		bi := 0
+		for j := 1; j < len(q); j++ {
+			if height[q[j]] > height[q[bi]] {
+				bi = j
+			}
+		}
+		i := q[bi]
+		q[bi] = q[len(q)-1]
+		return i, q[:len(q)-1]
+	}
+
+	out := make([]tuop, 0, n+n/2+1)
+	var ready [tNumKinds][]int32
+	var miscReady []int32
+	markReady := func(i int32) {
+		k := uops[i].kind
+		if templated[k] {
+			ready[k] = append(ready[k], i)
+		} else {
+			miscReady = append(miscReady, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			markReady(int32(i))
+		}
+	}
+	left := n
+	retire := func(i int32) {
+		left--
+		for _, s := range succ[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				markReady(s)
+			}
+		}
+	}
+	cursor := 0
+	for left > 0 {
+		k := tmpl[cursor%tracePeriod]
+		cursor++
+		if k == miscSlot {
+			if len(miscReady) > 0 {
+				var i int32
+				i, miscReady = popDeepest(miscReady)
+				out = append(out, uops[i])
+				retire(i)
+				continue
+			}
+			// Idle wildcard: steal from the most-backlogged templated kind
+			// (its slot target varies anyway), else an inert MOV.
+			best, bestN := -1, 0
+			for kk := range ready {
+				if len(ready[kk]) > bestN {
+					best, bestN = kk, len(ready[kk])
+				}
+			}
+			if best >= 0 {
+				var i int32
+				i, ready[best] = popDeepest(ready[best])
+				out = append(out, uops[i])
+				retire(i)
+			} else {
+				out = append(out, traceNopFor(tMOV))
+			}
+			continue
+		}
+		if q := ready[k]; len(q) > 0 {
+			var i int32
+			i, ready[k] = popDeepest(q)
+			out = append(out, uops[i])
+			retire(i)
+		} else {
+			out = append(out, traceNopFor(k))
+		}
+	}
+	out = append(out, term)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Trace execution.
+// ---------------------------------------------------------------------------
+
+// traceLoadSlow is the load path for engine-TLB misses and page-straddling
+// accesses. Mapped, non-straddling pages are installed in the engine TLB;
+// absent pages read as zero without materializing (matching Core.load).
+//
+//cryptojack:coldpath
+//go:noinline
+func (c *Core) traceLoadSlow(addr, size uint64) uint64 {
+	off := addr & (mem.PageSize - 1)
+	if off+size > mem.PageSize {
+		return c.mem.Read(addr, int(size))
+	}
+	p := c.mem.PagePtr(addr, false)
+	if p == nil {
+		return 0
+	}
+	eng := c.eng
+	idx := addr >> mem.PageBits
+	e := idx & 255
+	eng.ltag[e] = idx + 1
+	eng.lpg[e] = p
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(p[off:])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[off:]))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[off:]))
+	default:
+		return uint64(p[off])
+	}
+}
+
+// traceStoreSlow is the store path for engine-TLB misses and page-straddling
+// accesses. Like every trace store it logs the old value first so a side
+// exit can restore the pass-entry memory image exactly.
+//
+//cryptojack:coldpath
+//go:noinline
+func (c *Core) traceStoreSlow(addr, v, size uint64) {
+	eng := c.eng
+	eng.undo = append(eng.undo, undoEnt{addr: addr, val: c.mem.Read(addr, int(size)), size: uint8(size)})
+	off := addr & (mem.PageSize - 1)
+	if off+size > mem.PageSize {
+		c.mem.Write(addr, v, int(size))
+		return
+	}
+	p := c.mem.PagePtr(addr, true)
+	idx := addr >> mem.PageBits
+	e := idx & 255
+	eng.ltag[e] = idx + 1
+	eng.lpg[e] = p
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(p[off:], v)
+	case 4:
+		binary.LittleEndian.PutUint32(p[off:], uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(p[off:], uint16(v))
+	default:
+		p[off] = byte(v)
+	}
+}
+
+// runTrace executes whole passes of tr until the remaining quantum no longer
+// covers one, the terminator's back-edge condition fails, or a mid-trace
+// branch resolves against the trace (side exit). It returns the guest
+// instructions retired and their RSX count; the caller owns the bank adds.
+//
+// State contract: on return, ctx.Regs/Flags/PC are bit-identical to what
+// runFastStep would have produced after the same retire count — completed
+// passes materialize exact state by construction (renaming leaves final
+// definitions in the architectural slots, the flag chain leaves the last
+// flag definition in f), and a side exit rolls memory and registers back to
+// the pass entry image and replays the retired prefix through the reference
+// interpreter itself.
+//
+//cryptojack:hotpath
+func (c *Core) runTrace(tr *trace, limit uint64, tags *microcode.TagTable, characterizing bool) (n, rsx uint64) {
+	ctx := c.ctx
+	eng := c.eng
+	if eng == nil {
+		eng = &traceEngine{}
+		c.eng = eng
+	}
+	r := &eng.r
+	copy(r[:isa.NumRegs], ctx.Regs[:])
+	r[trNopSrc] = 1
+	if tr.nopLdOK {
+		// The NOP-load base register is path-invariant, so one preset covers
+		// every pass.
+		r[trNopLdBase] = r[tr.nopBase] + uint64(int64(tr.nopOff))
+	}
+	f := ctx.Flags
+	var snapF Flags
+	uops := tr.uops
+	consts := tr.consts
+	exitPC := -1
+	var exitCount int32
+	lenBucket := 0
+	for lenBucket < len(TraceLenBounds) && tr.guestLen > TraceLenBounds[lenBucket] {
+		lenBucket++
+	}
+
+	for n+tr.guestLen <= limit {
+		copy(eng.snap[:], r[:isa.NumRegs])
+		snapF = f
+		eng.undo = eng.undo[:0]
+		loop := false
+		for i := 0; i < len(uops); i++ {
+			u := uops[i]
+			switch u.kind {
+			case tMOV:
+				r[u.rd] = r[u.rs1]
+			case tMOVI:
+				r[u.rd] = uint64(int64(u.imm))
+			case tMOVC:
+				r[u.rd] = consts[u.imm]
+
+			case tLD:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				off := addr & (mem.PageSize - 1)
+				if eng.ltag[e] == idx+1 && off <= mem.PageSize-8 {
+					r[u.rd] = binary.LittleEndian.Uint64(eng.lpg[e][off:])
+				} else {
+					r[u.rd] = c.traceLoadSlow(addr, 8)
+				}
+			case tLD32:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				off := addr & (mem.PageSize - 1)
+				if eng.ltag[e] == idx+1 && off <= mem.PageSize-4 {
+					r[u.rd] = uint64(binary.LittleEndian.Uint32(eng.lpg[e][off:]))
+				} else {
+					r[u.rd] = c.traceLoadSlow(addr, 4)
+				}
+			case tLD16:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				off := addr & (mem.PageSize - 1)
+				if eng.ltag[e] == idx+1 && off <= mem.PageSize-2 {
+					r[u.rd] = uint64(binary.LittleEndian.Uint16(eng.lpg[e][off:]))
+				} else {
+					r[u.rd] = c.traceLoadSlow(addr, 2)
+				}
+			case tLD8:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				if eng.ltag[e] == idx+1 {
+					r[u.rd] = uint64(eng.lpg[e][addr&(mem.PageSize-1)])
+				} else {
+					r[u.rd] = c.traceLoadSlow(addr, 1)
+				}
+
+			case tST:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				off := addr & (mem.PageSize - 1)
+				if eng.ltag[e] == idx+1 && off <= mem.PageSize-8 {
+					p := eng.lpg[e]
+					//lint:ignore hotpath the undo log reuses its backing array after the first pass of a trace
+					eng.undo = append(eng.undo, undoEnt{addr: addr, val: binary.LittleEndian.Uint64(p[off:]), size: 8})
+					binary.LittleEndian.PutUint64(p[off:], r[u.rs2])
+				} else {
+					c.traceStoreSlow(addr, r[u.rs2], 8)
+				}
+			case tST32:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				off := addr & (mem.PageSize - 1)
+				if eng.ltag[e] == idx+1 && off <= mem.PageSize-4 {
+					p := eng.lpg[e]
+					//lint:ignore hotpath the undo log reuses its backing array after the first pass of a trace
+					eng.undo = append(eng.undo, undoEnt{addr: addr, val: uint64(binary.LittleEndian.Uint32(p[off:])), size: 4})
+					binary.LittleEndian.PutUint32(p[off:], uint32(r[u.rs2]))
+				} else {
+					c.traceStoreSlow(addr, r[u.rs2], 4)
+				}
+			case tST16:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				off := addr & (mem.PageSize - 1)
+				if eng.ltag[e] == idx+1 && off <= mem.PageSize-2 {
+					p := eng.lpg[e]
+					//lint:ignore hotpath the undo log reuses its backing array after the first pass of a trace
+					eng.undo = append(eng.undo, undoEnt{addr: addr, val: uint64(binary.LittleEndian.Uint16(p[off:])), size: 2})
+					binary.LittleEndian.PutUint16(p[off:], uint16(r[u.rs2]))
+				} else {
+					c.traceStoreSlow(addr, r[u.rs2], 2)
+				}
+			case tST8:
+				addr := r[u.rs1] + uint64(int64(u.imm))
+				idx := addr >> mem.PageBits
+				e := idx & 255
+				if eng.ltag[e] == idx+1 {
+					p := eng.lpg[e]
+					off := addr & (mem.PageSize - 1)
+					//lint:ignore hotpath the undo log reuses its backing array after the first pass of a trace
+					eng.undo = append(eng.undo, undoEnt{addr: addr, val: uint64(p[off]), size: 1})
+					p[off] = byte(r[u.rs2])
+				} else {
+					c.traceStoreSlow(addr, r[u.rs2], 1)
+				}
+			case tSTNOP:
+				eng.scratch++
+
+			case tADD:
+				r[u.rd] = r[u.rs1] + r[u.rs2]
+			case tADDI:
+				r[u.rd] = r[u.rs1] + uint64(int64(u.imm))
+			case tSUB:
+				r[u.rd] = r[u.rs1] - r[u.rs2]
+			case tSUBI:
+				r[u.rd] = r[u.rs1] - uint64(int64(u.imm))
+			case tMUL:
+				r[u.rd] = r[u.rs1] * r[u.rs2]
+			case tIMUL:
+				r[u.rd] = uint64(int64(r[u.rs1]) * int64(r[u.rs2]))
+			case tNEG:
+				r[u.rd] = -r[u.rs1]
+			case tINC:
+				r[u.rd] = r[u.rs1] + 1
+			case tDEC:
+				r[u.rd] = r[u.rs1] - 1
+			case tAND:
+				r[u.rd] = r[u.rs1] & r[u.rs2]
+			case tANDI:
+				r[u.rd] = r[u.rs1] & uint64(int64(u.imm))
+			case tOR:
+				r[u.rd] = r[u.rs1] | r[u.rs2]
+			case tORI:
+				r[u.rd] = r[u.rs1] | uint64(int64(u.imm))
+			case tXOR:
+				r[u.rd] = r[u.rs1] ^ r[u.rs2]
+			case tXORI:
+				r[u.rd] = r[u.rs1] ^ uint64(int64(u.imm))
+			case tNOT:
+				r[u.rd] = ^r[u.rs1]
+			case tSHL:
+				r[u.rd] = r[u.rs1] << (r[u.rs2] & 63)
+			case tSHLI:
+				r[u.rd] = r[u.rs1] << (uint64(int64(u.imm)) & 63)
+			case tSHR:
+				r[u.rd] = r[u.rs1] >> (r[u.rs2] & 63)
+			case tSHRI:
+				r[u.rd] = r[u.rs1] >> (uint64(int64(u.imm)) & 63)
+			case tSAR:
+				r[u.rd] = uint64(int64(r[u.rs1]) >> (r[u.rs2] & 63))
+			case tSARI:
+				r[u.rd] = uint64(int64(r[u.rs1]) >> (uint64(int64(u.imm)) & 63))
+			case tROL:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], int(r[u.rs2]&63))
+			case tROLI:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], int(uint64(int64(u.imm))&63))
+			case tROR:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], -int(r[u.rs2]&63))
+			case tRORI:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], -int(uint64(int64(u.imm))&63))
+			case tROL32I:
+				r[u.rd] = uint64(bits.RotateLeft32(uint32(r[u.rs1]), int(uint64(int64(u.imm))&31)))
+			case tROR32I:
+				r[u.rd] = uint64(bits.RotateLeft32(uint32(r[u.rs1]), -int(uint64(int64(u.imm))&31)))
+
+			case tADD_F:
+				a, b := r[u.rs1], r[u.rs2]
+				res := a + b
+				f = addFlags(a, b, res)
+				r[u.rd] = res
+			case tADDI_F:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				res := a + b
+				f = addFlags(a, b, res)
+				r[u.rd] = res
+			case tSUB_F:
+				a, b := r[u.rs1], r[u.rs2]
+				res := a - b
+				f = subFlags(a, b, res)
+				r[u.rd] = res
+			case tSUBI_F:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				res := a - b
+				f = subFlags(a, b, res)
+				r[u.rd] = res
+			case tMUL_F:
+				r[u.rd] = r[u.rs1] * r[u.rs2]
+				f = logicFlags(r[u.rd])
+			case tIMUL_F:
+				r[u.rd] = uint64(int64(r[u.rs1]) * int64(r[u.rs2]))
+				f = logicFlags(r[u.rd])
+			case tNEG_F:
+				r[u.rd] = -r[u.rs1]
+				f = logicFlags(r[u.rd])
+			case tINC_F:
+				r[u.rd] = r[u.rs1] + 1
+				f = logicFlags(r[u.rd])
+			case tDEC_F:
+				r[u.rd] = r[u.rs1] - 1
+				f = logicFlags(r[u.rd])
+			case tAND_F:
+				r[u.rd] = r[u.rs1] & r[u.rs2]
+				f = logicFlags(r[u.rd])
+			case tANDI_F:
+				r[u.rd] = r[u.rs1] & uint64(int64(u.imm))
+				f = logicFlags(r[u.rd])
+			case tOR_F:
+				r[u.rd] = r[u.rs1] | r[u.rs2]
+				f = logicFlags(r[u.rd])
+			case tORI_F:
+				r[u.rd] = r[u.rs1] | uint64(int64(u.imm))
+				f = logicFlags(r[u.rd])
+			case tXOR_F:
+				r[u.rd] = r[u.rs1] ^ r[u.rs2]
+				f = logicFlags(r[u.rd])
+			case tXORI_F:
+				r[u.rd] = r[u.rs1] ^ uint64(int64(u.imm))
+				f = logicFlags(r[u.rd])
+			case tNOT_F:
+				r[u.rd] = ^r[u.rs1]
+				f = logicFlags(r[u.rd])
+			case tSHL_F:
+				r[u.rd] = r[u.rs1] << (r[u.rs2] & 63)
+				f = logicFlags(r[u.rd])
+			case tSHLI_F:
+				r[u.rd] = r[u.rs1] << (uint64(int64(u.imm)) & 63)
+				f = logicFlags(r[u.rd])
+			case tSHR_F:
+				r[u.rd] = r[u.rs1] >> (r[u.rs2] & 63)
+				f = logicFlags(r[u.rd])
+			case tSHRI_F:
+				r[u.rd] = r[u.rs1] >> (uint64(int64(u.imm)) & 63)
+				f = logicFlags(r[u.rd])
+			case tSAR_F:
+				r[u.rd] = uint64(int64(r[u.rs1]) >> (r[u.rs2] & 63))
+				f = logicFlags(r[u.rd])
+			case tSARI_F:
+				r[u.rd] = uint64(int64(r[u.rs1]) >> (uint64(int64(u.imm)) & 63))
+				f = logicFlags(r[u.rd])
+			case tROL_F:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], int(r[u.rs2]&63))
+				f = logicFlags(r[u.rd])
+			case tROLI_F:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], int(uint64(int64(u.imm))&63))
+				f = logicFlags(r[u.rd])
+			case tROR_F:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], -int(r[u.rs2]&63))
+				f = logicFlags(r[u.rd])
+			case tRORI_F:
+				r[u.rd] = bits.RotateLeft64(r[u.rs1], -int(uint64(int64(u.imm))&63))
+				f = logicFlags(r[u.rd])
+			case tROL32I_F:
+				r[u.rd] = uint64(bits.RotateLeft32(uint32(r[u.rs1]), int(uint64(int64(u.imm))&31)))
+				f = logicFlags(r[u.rd])
+			case tROR32I_F:
+				r[u.rd] = uint64(bits.RotateLeft32(uint32(r[u.rs1]), -int(uint64(int64(u.imm))&31)))
+				f = logicFlags(r[u.rd])
+
+			case tCMP:
+				a, b := r[u.rs1], r[u.rs2]
+				f = subFlags(a, b, a-b)
+			case tCMPI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				f = subFlags(a, b, a-b)
+			case tTEST:
+				f = logicFlags(r[u.rs1] & r[u.rs2])
+
+			case tCJEI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); !g.Z {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJNEI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); g.Z {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJLI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); g.S == g.O {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJLEI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); !(g.Z || g.S != g.O) {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJGI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); g.Z || g.S != g.O {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJGEI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); g.S != g.O {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJBI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); !g.C {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJBEI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); !(g.C || g.Z) {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJAI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); g.C || g.Z {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+			case tCJAEI:
+				a, b := r[u.rs1], uint64(int64(u.imm))
+				if g := subFlags(a, b, a-b); g.C {
+					exitCount = int32(u.rd)<<8 | int32(u.rs2)
+					goto sideExit
+				}
+
+			case tJE:
+				if !f.Z {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJNE:
+				if f.Z {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJL:
+				if f.S == f.O {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJLE:
+				if !(f.Z || f.S != f.O) {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJG:
+				if f.Z || f.S != f.O {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJGE:
+				if f.S != f.O {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJB:
+				if !f.C {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJBE:
+				if !(f.C || f.Z) {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJA:
+				if f.C || f.Z {
+					exitCount = u.imm
+					goto sideExit
+				}
+			case tJAE:
+				if f.C {
+					exitCount = u.imm
+					goto sideExit
+				}
+
+			case tBJE:
+				if f.Z {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJNE:
+				if !f.Z {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJL:
+				if f.S != f.O {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJLE:
+				if f.Z || f.S != f.O {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJG:
+				if !f.Z && f.S == f.O {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJGE:
+				if f.S == f.O {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJB:
+				if f.C {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJBE:
+				if f.C || f.Z {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJA:
+				if !f.C && !f.Z {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJAE:
+				if !f.C {
+					loop = true
+				} else {
+					exitPC = int(u.imm)
+				}
+			case tBJMP:
+				loop = true
+			case tEND:
+				exitPC = int(u.imm)
+			}
+		}
+		n += tr.guestLen
+		rsx += tr.rsx
+		tr.passes++
+		c.trStats.Hits++
+		c.trStats.LenCounts[lenBucket]++
+		c.trStats.LenSum += tr.guestLen
+		if characterizing {
+			for _, h := range tr.hist {
+				c.bank.AddOpCount(h.op, h.n)
+			}
+		}
+		if !loop {
+			break
+		}
+	}
+	// Clean exit (terminator fell through or quantum no longer covers a
+	// pass): between passes the architectural state lives in r[0..31] and f.
+	copy(ctx.Regs[:], r[:isa.NumRegs])
+	ctx.Flags = f
+	if exitPC >= 0 {
+		ctx.PC = exitPC
+	} else {
+		ctx.PC = tr.entry
+	}
+	return n, rsx
+
+sideExit:
+	// A mid-trace branch went the unexpected way. Restore the pass-entry
+	// image exactly — reverse the store-undo log, reload the register
+	// snapshot and flags — then retire the pass prefix (through the exiting
+	// branch) via the reference interpreter, which recreates architectural
+	// state, RSX, and characterization counts bit-identically.
+	for i := len(eng.undo) - 1; i >= 0; i-- {
+		ue := eng.undo[i]
+		c.mem.Write(ue.addr, ue.val, int(ue.size))
+	}
+	copy(ctx.Regs[:], eng.snap[:])
+	ctx.Flags = snapF
+	ctx.PC = tr.entry
+	tr.sideExits++
+	c.trStats.SideExits++
+	in, irsx := c.runFastStepTagged(uint64(exitCount), tags)
+	return n + in, rsx + irsx
+}

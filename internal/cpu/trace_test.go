@@ -1,0 +1,420 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"darkarts/internal/isa"
+	"darkarts/internal/microcode"
+)
+
+// Superblock trace layer edge-case and equivalence tests. The contract
+// under test is the one stated at the top of trace.go: with traces enabled
+// the fast engine must stay bit-identical to the per-instruction reference
+// loop (runFastStep) — registers, flags, PC, memory, fault state, and every
+// counter — across side exits, slice boundaries, tag-table swaps, faults
+// adjacent to trace exits, and mid-path entries.
+
+// traceProgram generates a guaranteed-halting program whose inner loop is
+// hot enough (iteration count far above traceHotThreshold) and long enough
+// (body well above minTraceGuestLen) to be promoted into a trace. Bodies
+// mix ALU, memory and conditional-skip shapes so built traces carry loads,
+// stores, and recorded branch directions that sometimes fail at run time
+// (side exits).
+func traceProgram(rng *rand.Rand) *isa.Program {
+	b := isa.NewBuilder("tracefuzz")
+	bodyLen := minTraceGuestLen + rng.Intn(80)
+	iters := int64(4*traceHotThreshold + rng.Intn(300))
+
+	for r := isa.R0; r <= isa.R11; r++ {
+		b.Movi(r, rng.Int63())
+	}
+	b.Movi(isa.R12, iters)
+	b.Label("loop")
+
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(12)) }
+	skips := 0
+	for i := 0; i < bodyLen; i++ {
+		switch rng.Intn(14) {
+		case 0:
+			b.Op3(isa.ADD, reg(), reg(), reg())
+		case 1:
+			b.Op3(isa.SUB, reg(), reg(), reg())
+		case 2:
+			b.Op3(isa.XOR, reg(), reg(), reg())
+		case 3:
+			b.Op3(isa.AND, reg(), reg(), reg())
+		case 4:
+			b.OpI(isa.ROLI, reg(), reg(), int64(rng.Intn(64)))
+		case 5:
+			b.OpI(isa.RORI, reg(), reg(), int64(rng.Intn(64)))
+		case 6:
+			b.OpI(isa.SHLI, reg(), reg(), int64(rng.Intn(64)))
+		case 7:
+			b.Op3(isa.MUL, reg(), reg(), reg())
+		case 8:
+			b.St(isa.R28, int64(rng.Intn(512))&^7, reg())
+		case 9:
+			b.Ld(reg(), isa.R28, int64(rng.Intn(512))&^7)
+		case 10:
+			b.OpI(isa.ROL32I, reg(), reg(), int64(rng.Intn(32)))
+		case 11:
+			// Data-dependent conditional skip: the trace records whichever
+			// direction held at build time; runs where the other direction
+			// holds must side-exit with exact state.
+			lbl := fmt.Sprintf("skip%d", skips)
+			skips++
+			b.OpI(isa.ANDI, isa.R13, isa.R12, int64(1+rng.Intn(7)))
+			b.Cmpi(isa.R13, 0)
+			b.Jcc(isa.JE, lbl)
+			b.OpI(isa.ADDI, reg(), reg(), int64(rng.Intn(1<<12)))
+			b.Label(lbl)
+			i += 3
+		default:
+			b.OpI(isa.ADDI, reg(), reg(), int64(rng.Intn(1<<20)))
+		}
+	}
+	b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+	b.Cmpi(isa.R12, 0)
+	b.Jcc(isa.JNE, "loop")
+	b.Halt()
+
+	p := b.MustBuild()
+	p.DataSize = 1024
+	return p
+}
+
+// runTr executes prog to completion in fast mode and returns the full
+// observable outcome plus the core's trace-engine counters. Like runBB,
+// but with independent block-cache and trace-cache switches.
+func runTr(t *testing.T, prog *isa.Program, noBlocks, noTraces bool, slice uint64,
+	step func(*CPU, uint64)) (bbOutcome, TraceStats) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Characterize = true
+	cfg.NoBlockCache = noBlocks
+	cfg.NoTraceCache = noTraces
+	machine, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(prog, machine.Memory(), 0x100_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := machine.Core(0)
+	core.LoadContext(ctx)
+	var total uint64
+	for !ctx.Halted {
+		if step != nil {
+			step(machine, total)
+		}
+		n := core.Run(slice)
+		total += n
+		if n == 0 && !ctx.Halted {
+			t.Fatal("no progress")
+		}
+	}
+	bank := core.Counters()
+	out := bbOutcome{
+		regs:    ctx.Regs,
+		flags:   ctx.Flags,
+		pc:      ctx.PC,
+		halted:  ctx.Halted,
+		retired: bank.Retired(),
+		rsx:     bank.RSX(),
+		cycles:  bank.Cycles(),
+		hist:    bank.Histogram(),
+		mem:     machine.Memory().ReadBytes(0x100_0000, 512),
+	}
+	if ctx.Fault != nil {
+		out.fault = ctx.Fault.Error()
+	}
+	return out, core.TraceCacheStats()
+}
+
+// TestDifferentialTraceVsStep is the trace-layer equivalence property
+// test: over trace-friendly random programs, the traced engine must be
+// bit-identical to the per-instruction reference loop, both in one shot
+// and under slice sizes that deny trace dispatch at arbitrary points.
+// The run is rejected as vacuous if no trace pass ever completed.
+func TestDifferentialTraceVsStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	var hits uint64
+	for trial := 0; trial < 25; trial++ {
+		prog := traceProgram(rng)
+		plain, _ := runTr(t, prog, true, true, 1<<30, nil)
+		for _, slice := range []uint64{1 << 30, 7777, 13} {
+			traced, ts := runTr(t, prog, false, false, slice, nil)
+			requireSameOutcome(t, fmt.Sprintf("%s/slice=%d", prog.Name, slice), traced, plain)
+			hits += ts.Hits
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no trace pass completed over the whole corpus; differential is vacuous")
+	}
+}
+
+// TestTraceSideExitIdentity pins the side-exit contract: a loop whose
+// inner branch alternates direction by loop-counter parity forces the
+// recorded direction to fail on half the passes. Final architectural
+// state, counters, and memory must match the reference exactly, and the
+// stats must show both completed passes and side exits.
+func TestTraceSideExitIdentity(t *testing.T) {
+	b := isa.NewBuilder("parity")
+	b.Movi(isa.R12, 600)
+	b.Label("loop")
+	for i := 0; i < 10; i++ {
+		b.OpI(isa.XORI, isa.R1, isa.R1, 0x9E)
+		b.OpI(isa.ROLI, isa.R1, isa.R1, 7)
+	}
+	b.OpI(isa.ANDI, isa.R13, isa.R12, 1)
+	b.Cmpi(isa.R13, 0)
+	b.Jcc(isa.JE, "even")
+	b.OpI(isa.ADDI, isa.R2, isa.R2, 3)
+	b.Label("even")
+	b.OpI(isa.ADDI, isa.R3, isa.R3, 1)
+	b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+	b.Cmpi(isa.R12, 0)
+	b.Jcc(isa.JNE, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	plain, _ := runTr(t, prog, true, true, 1<<30, nil)
+	traced, ts := runTr(t, prog, false, false, 1<<30, nil)
+	requireSameOutcome(t, prog.Name, traced, plain)
+	if ts.Hits == 0 {
+		t.Fatal("no completed trace pass")
+	}
+	if ts.SideExits == 0 {
+		t.Fatal("no side exit despite alternating branch direction")
+	}
+	// 300 odd iterations take the fall-through (+3 each); every iteration
+	// bumps R3.
+	if traced.regs[2] != 900 || traced.regs[3] != 600 {
+		t.Fatalf("branch accounting off: r2=%d r3=%d", traced.regs[2], traced.regs[3])
+	}
+}
+
+// TestTraceFaultAdjacentIdentity moves a data-dependent divide fault
+// through every position of a hot loop body. Faultable instructions
+// terminate trace construction, so each position yields a differently
+// shaped trace whose exit feeds straight into the faulting DIV on the
+// final iteration; fault identity (error, PC, counters, registers) must
+// hold for every shape.
+func TestTraceFaultAdjacentIdentity(t *testing.T) {
+	body := minTraceGuestLen + 8
+	var totalHits uint64
+	for pos := 0; pos < body; pos += 5 {
+		b := isa.NewBuilder(fmt.Sprintf("divpos%d", pos))
+		b.Movi(isa.R12, 400)
+		b.Label("loop")
+		for i := 0; i < body; i++ {
+			if i == pos {
+				// R13 = R12-1: nonzero until the last iteration, then the
+				// divide faults with the loop mid-flight.
+				b.OpI(isa.SUBI, isa.R13, isa.R12, 1)
+				b.Op3(isa.DIV, isa.R4, isa.R1, isa.R13)
+			} else {
+				b.OpI(isa.XORI, isa.R1, isa.R1, int64(0x40+i))
+			}
+			if i%7 == 6 {
+				// Branch to the fall-through: cuts the straight-line run so
+				// the path clears the trace layer's source-block-length gate
+				// without perturbing any architectural state (R14 is never
+				// written, so ZF is set and the jump lands where fall-through
+				// would anyway).
+				b.Cmpi(isa.R14, 0)
+				b.Jcc(isa.JE, fmt.Sprintf("blk%d", i))
+				b.Label(fmt.Sprintf("blk%d", i))
+			}
+		}
+		b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+		b.Cmpi(isa.R12, 0)
+		b.Jcc(isa.JNE, "loop")
+		b.Halt()
+		prog := b.MustBuild()
+
+		plain, _ := runTr(t, prog, true, true, 1<<30, nil)
+		traced, st := runTr(t, prog, false, false, 1<<30, nil)
+		if plain.fault == "" {
+			t.Fatalf("%s: reference run did not fault", prog.Name)
+		}
+		requireSameOutcome(t, prog.Name, traced, plain)
+		totalHits += st.Hits
+	}
+	if totalHits == 0 {
+		t.Fatal("no fault-adjacent trace ever completed a pass; test is vacuous")
+	}
+}
+
+// TestTraceSliceBoundaryIdentity cuts the quantum at every size around one
+// pass length: trace dispatch requires the remaining budget to cover a
+// whole pass, so small slices must fall back to blocks (or the stepper)
+// with no observable difference.
+func TestTraceSliceBoundaryIdentity(t *testing.T) {
+	b := isa.NewBuilder("slices")
+	b.Movi(isa.R12, 300)
+	b.Label("loop")
+	for i := 0; i < 12; i++ {
+		b.OpI(isa.XORI, isa.R1, isa.R1, int64(i+1))
+		b.OpI(isa.ROLI, isa.R1, isa.R1, 5)
+	}
+	b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+	b.Cmpi(isa.R12, 0)
+	b.Jcc(isa.JNE, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	plain, _ := runTr(t, prog, true, true, 1<<30, nil)
+	for slice := uint64(1); slice <= 40; slice++ {
+		traced, _ := runTr(t, prog, false, false, slice, nil)
+		requireSameOutcome(t, fmt.Sprintf("slice=%d", slice), traced, plain)
+	}
+}
+
+// TestTraceMidRunTagSwap swaps the tag table at odd retired-instruction
+// boundaries while traces are live: batched trace RSX pre-counts must be
+// re-tagged per program and the counter stream must stay identical to the
+// reference interpreter under the same swap schedule.
+func TestTraceMidRunTagSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	tables := []*microcode.TagTable{
+		microcode.RSX(), microcode.RSXO(), microcode.RotateOnly(),
+	}
+	for trial := 0; trial < 8; trial++ {
+		prog := traceProgram(rng)
+		swap := func(m *CPU, total uint64) {
+			m.InstallTagTable(tables[(total/257)%uint64(len(tables))])
+		}
+		plain, _ := runTr(t, prog, true, true, 257, swap)
+		traced, _ := runTr(t, prog, false, false, 257, swap)
+		requireSameOutcome(t, prog.Name, traced, plain)
+	}
+}
+
+// TestTraceBranchIntoPathMiddle re-enters a traced loop in the middle of
+// its recorded path: the dispatcher keys traces by entry PC only, so a
+// mid-path target must miss the trace table and execute through blocks,
+// never resuming a trace half-way.
+func TestTraceBranchIntoPathMiddle(t *testing.T) {
+	b := isa.NewBuilder("midtrace")
+	b.Movi(isa.R12, 400)
+	// Outer counter R11 decides whether the inner loop is entered at its
+	// head or at a label in the middle of the hot path.
+	b.Movi(isa.R11, 0)
+	b.Label("outer")
+	b.OpI(isa.ANDI, isa.R13, isa.R11, 3)
+	b.Cmpi(isa.R13, 0)
+	b.Jcc(isa.JE, "mid")
+	b.Label("head")
+	for i := 0; i < 14; i++ {
+		b.OpI(isa.XORI, isa.R1, isa.R1, int64(i+0x11))
+	}
+	b.Label("mid")
+	for i := 0; i < 14; i++ {
+		b.OpI(isa.ROLI, isa.R2, isa.R2, int64(1+i%7))
+	}
+	b.OpI(isa.ADDI, isa.R11, isa.R11, 1)
+	b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+	b.Cmpi(isa.R12, 0)
+	b.Jcc(isa.JNE, "outer")
+	b.Halt()
+	prog := b.MustBuild()
+
+	plain, _ := runTr(t, prog, true, true, 1<<30, nil)
+	traced, _ := runTr(t, prog, false, false, 1<<30, nil)
+	requireSameOutcome(t, prog.Name, traced, plain)
+}
+
+// TestTraceObserverBypass: an attached retirement observer must route
+// execution through the per-instruction reference loop — no trace (or
+// block) activity at all, even for a scorching-hot loop.
+func TestTraceObserverBypass(t *testing.T) {
+	b := isa.NewBuilder("observed")
+	b.Movi(isa.R12, 500)
+	b.Label("loop")
+	for i := 0; i < 13; i++ {
+		b.OpI(isa.XORI, isa.R1, isa.R1, int64(i+1))
+		b.OpI(isa.RORI, isa.R1, isa.R1, 9)
+	}
+	b.OpI(isa.SUBI, isa.R12, isa.R12, 1)
+	b.Cmpi(isa.R12, 0)
+	b.Jcc(isa.JNE, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	machine, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(prog, machine.Memory(), 0x100_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := machine.Core(0)
+	log := &observerLog{}
+	core.SetObserver(log)
+	core.LoadContext(ctx)
+	for !ctx.Halted {
+		if core.Run(1<<22) == 0 && !ctx.Halted {
+			t.Fatal("no progress")
+		}
+	}
+	if len(log.ops) == 0 {
+		t.Fatal("observer saw no retirements")
+	}
+	if uint64(len(log.ops)) != core.Counters().Retired() {
+		t.Fatalf("observer saw %d retirements, counters say %d", len(log.ops), core.Counters().Retired())
+	}
+	if ts := core.TraceCacheStats(); ts != (TraceStats{}) {
+		t.Fatalf("observer run touched the trace cache: %+v", ts)
+	}
+	if st := core.BlockCacheStats(); st != (BBStats{}) {
+		t.Fatalf("observer run touched the block cache: %+v", st)
+	}
+}
+
+// TestTraceDisableKnob: NoTraceCache must pin the trace engine off (zero
+// stats, blocks still active) with identical outcomes.
+func TestTraceDisableKnob(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	prog := traceProgram(rng)
+	plain, _ := runTr(t, prog, true, true, 1<<30, nil)
+	blocksOnly, ts := runTr(t, prog, false, true, 1<<30, nil)
+	if ts != (TraceStats{}) {
+		t.Fatalf("NoTraceCache run touched the trace engine: %+v", ts)
+	}
+	requireSameOutcome(t, prog.Name, blocksOnly, plain)
+}
+
+// FuzzTraceDifferential drives the traced engine against the reference
+// loop over generated hot-loop programs, randomized slice sizes, and
+// mid-run tag swaps, all derived from the fuzz input.
+func FuzzTraceDifferential(f *testing.F) {
+	f.Add(int64(1), uint64(1<<30), false)
+	f.Add(int64(99), uint64(257), true)
+	f.Add(int64(-7), uint64(13), true)
+	tables := []*microcode.TagTable{
+		microcode.RSX(), microcode.RSXO(), microcode.RotateOnly(),
+	}
+	f.Fuzz(func(t *testing.T, seed int64, slice uint64, swapTags bool) {
+		if slice == 0 {
+			slice = 1
+		}
+		prog := traceProgram(rand.New(rand.NewSource(seed)))
+		var step func(*CPU, uint64)
+		if swapTags {
+			step = func(m *CPU, total uint64) {
+				m.InstallTagTable(tables[(total/311)%uint64(len(tables))])
+			}
+		}
+		plain, _ := runTr(t, prog, true, true, slice, step)
+		traced, _ := runTr(t, prog, false, false, slice, step)
+		requireSameOutcome(t, prog.Name, traced, plain)
+	})
+}

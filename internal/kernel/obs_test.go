@@ -6,6 +6,7 @@ package kernel_test
 // registry, and a nil Config.Obs must disable everything without a trace.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -18,13 +19,41 @@ import (
 )
 
 // memProgram is a looping program with stack traffic so the per-core TLBs
-// see both hits and misses.
+// see both hits and misses. Its 4-instruction loop body is deliberately
+// below the trace engine's minimum path length, so it exercises the
+// plain block cache even with tracing enabled.
 func memProgram() *isa.Program {
 	b := isa.NewBuilder("memspin")
 	b.Movi(isa.R1, 0x1234)
 	b.Label("loop")
 	b.Push(isa.R1)
 	b.Pop(isa.R2)
+	b.OpI(isa.ADDI, isa.R1, isa.R1, 1)
+	b.Jmp("loop")
+	return b.MustBuild()
+}
+
+// hashProgram is a hot, branchy ALU loop shaped for the trace engine: the
+// body clears the minimum path length, and the conditional skips keep the
+// source blocks short (the trace layer rejects long-straight-line paths
+// the block engine already runs at full speed). A few seconds of
+// simulation promote it into a superblock trace and complete millions of
+// passes.
+func hashProgram() *isa.Program {
+	b := isa.NewBuilder("hashspin")
+	b.Movi(isa.R1, 0x7f4a7c15)
+	b.Movi(isa.R10, 0)
+	b.Label("loop")
+	for i := 0; i < 8; i++ {
+		b.Op3(isa.XOR, isa.R2, isa.R2, isa.R1)
+		b.OpI(isa.RORI, isa.R3, isa.R3, 13)
+		b.OpI(isa.ANDI, isa.R13, isa.R10, 1)
+		b.Cmpi(isa.R13, 0)
+		b.Jcc(isa.JE, fmt.Sprintf("skip%d", i))
+		b.OpI(isa.SHLI, isa.R4, isa.R4, 1)
+		b.Label(fmt.Sprintf("skip%d", i))
+		b.Op3(isa.ADD, isa.R5, isa.R5, isa.R2)
+	}
 	b.OpI(isa.ADDI, isa.R1, isa.R1, 1)
 	b.Jmp("loop")
 	return b.MustBuild()
@@ -39,6 +68,12 @@ func TestObsRegistryPopulatedByRun(t *testing.T) {
 	}
 	w.Loop = true
 	k.Spawn("memspin", 1000, w)
+	hw, err := kernel.NewISAWorkload(hashProgram(), k.Machine().Memory(), 0x400_0000, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw.Loop = true
+	k.Spawn("hashspin", 1000, hw)
 	k.Run(5 * time.Second)
 
 	reg := k.Obs()
@@ -79,16 +114,21 @@ func TestObsRegistryPopulatedByRun(t *testing.T) {
 	if windows := mustValue("detect_windows_total", ""); windows < alerts {
 		t.Errorf("detect_windows_total = %v < alerts %v", windows, alerts)
 	}
-	if spawned := mustValue("tasks_spawned_total", ""); spawned != 4 {
-		t.Errorf("tasks_spawned_total = %v, want 4", spawned)
+	if spawned := mustValue("tasks_spawned_total", ""); spawned != 5 {
+		t.Errorf("tasks_spawned_total = %v, want 5", spawned)
 	}
 
 	var busy, tlbHits, tlbMisses, retired float64
+	var trHits, trBuilds float64
 	for i := 0; i < k.Machine().Cores(); i++ {
 		busy += mustValue("sched_core_busy_ns_total", obs.CoreLabel(i))
 		tlbHits += mustValue("tlb_hits_total", obs.CoreLabel(i))
 		tlbMisses += mustValue("tlb_misses_total", obs.CoreLabel(i))
 		retired += mustValue("sched_core_retired_total", obs.CoreLabel(i))
+		trHits += mustValue("trace_hits_total", obs.CoreLabel(i))
+		trBuilds += mustValue("trace_builds_total", obs.CoreLabel(i))
+		mustValue("trace_side_exits_total", obs.CoreLabel(i))
+		mustValue("trace_deopts_total", obs.CoreLabel(i))
 	}
 	if busy <= 0 {
 		t.Error("no core busy time recorded")
@@ -101,6 +141,28 @@ func TestObsRegistryPopulatedByRun(t *testing.T) {
 	}
 	if pages, ok := reg.Value("mem_pages", ""); !ok || pages <= 0 {
 		t.Errorf("mem_pages = %v, %v; want > 0", pages, ok)
+	}
+
+	// Five seconds of hot mining loops must promote blocks into traces,
+	// and completed passes feed the per-pass length histogram whose sum
+	// (guest instructions retired via traces) cannot exceed total retire.
+	if trBuilds == 0 {
+		t.Error("trace_builds_total flat: no hot block was promoted to a trace")
+	}
+	if trHits == 0 {
+		t.Error("trace_hits_total flat: no trace pass completed")
+	}
+	var trLenHist obs.Metric
+	for _, m := range reg.Snapshot() {
+		if m.Name == "trace_insts_per_pass" {
+			trLenHist = m
+		}
+	}
+	if float64(trLenHist.Value) != trHits {
+		t.Errorf("trace_insts_per_pass count = %d, want %v", trLenHist.Value, trHits)
+	}
+	if trLenHist.Sum == 0 || float64(trLenHist.Sum) > retired {
+		t.Errorf("trace_insts_per_pass sum = %d, want in (0, %v]", trLenHist.Sum, retired)
 	}
 
 	// The alert pipeline must have measured a latency for every alert.
@@ -148,6 +210,8 @@ func TestProcStatsFile(t *testing.T) {
 		"sched_quanta_total",
 		"rsx_delta_per_switch",
 		`sched_core_busy_ns_total{core="0"}`,
+		`trace_hits_total{core="0"}`,
+		"trace_insts_per_pass",
 		"detect_windows_total",
 		"[trace]",
 		"tunable  sys/rsx/threshold_per_min=1500000000",
