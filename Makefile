@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race lint bench bench-json bench-diff docs docscheck clean
+.PHONY: all check vet build test race lint bench bench-json bench-diff docs docscheck fleet-smoke clean
 
 all: check race
 
@@ -46,6 +46,14 @@ docscheck:
 	    echo "docscheck: $$d has no '// Command' package comment"; fail=1; \
 	  fi; \
 	done; exit $$fail
+
+# Fleet service smoke: a 256-machine fleetload run (FLEET.md). Exercises
+# the sharded round loop, placement, alert collection, and the shared
+# block cache end to end, and prints the service-level benchjson record
+# (hosts_per_second, alert latency, per-shard busy fractions). Scaled so
+# it finishes in well under a minute on one CI core.
+fleet-smoke:
+	$(GO) run ./cmd/fleetload -machines 256 -duration 4s -round 500ms -period 3s
 
 # Race-detect the whole module. The packages the parallel quantum
 # execution touches (scheduler, core engines, counter banks, metrics

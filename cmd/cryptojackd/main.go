@@ -52,11 +52,23 @@ func run(args []string) error {
 	obsOn := fs.Bool("obs", true, "record observability metrics (see OBSERVABILITY.md)")
 	httpAddr := fs.String("http", "", "serve /metrics (Prometheus) and /stats on this address, e.g. :9090")
 	metricsJSON := fs.String("metrics-json", "", "write a benchjson-schema metrics snapshot here at exit")
+	fleetN := fs.Int("fleet", 0, "fleet mode: run this many machines as one sharded detection service (FLEET.md)")
+	shards := fs.Int("shards", 0, "fleet mode: worker shards (0 = GOMAXPROCS)")
+	round := fs.Duration("round", 0, "fleet mode: simulated time per fleet round (0 = 1s)")
+	minerEvery := fs.Int("miner-every", 8, "fleet mode: infect every Nth machine (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if !*obsOn && (*httpAddr != "" || *metricsJSON != "") {
 		return fmt.Errorf("-http and -metrics-json need metrics; drop -obs=false")
+	}
+	if *fleetN > 0 {
+		return runFleet(fleetFlags{
+			machines: *fleetN, shards: *shards, round: *round, minerEvery: *minerEvery,
+			coin: *coin, threads: *threads, throttle: *throttle, clean: *clean,
+			dur: *dur, tags: *tags, threshold: *threshold, period: *period,
+			obsOn: *obsOn, httpAddr: *httpAddr, metricsJSON: *metricsJSON,
+		})
 	}
 
 	opts := core.DefaultOptions()

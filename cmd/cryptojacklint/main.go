@@ -36,10 +36,12 @@ import (
 )
 
 // simPackagesDefault scopes the determinism analyzer to the simulation
-// packages whose state feeds the RSX counter pipeline. Wall-clock or
+// packages whose state feeds the RSX counter pipeline, plus the machine
+// and fleet layers whose round barriers extend the serial/parallel
+// bit-identity guarantee to whole fleets (FLEET.md). Wall-clock or
 // map-order nondeterminism elsewhere (CLI rendering, experiments) cannot
-// break the serial/parallel bit-identity guarantee.
-const simPackagesDefault = "internal/kernel,internal/cpu,internal/mem,internal/counters"
+// break either guarantee.
+const simPackagesDefault = "internal/kernel,internal/cpu,internal/mem,internal/counters,internal/machine,internal/fleet"
 
 // ctrangePackagesDefault scopes the value-range analyzer to the packages
 // doing counter arithmetic; range reasoning about CLI or experiment code

@@ -1,13 +1,12 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"darkarts/internal/cpu"
 	"darkarts/internal/isa"
 	"darkarts/internal/kernel"
-	"darkarts/internal/microcode"
+	"darkarts/internal/machine"
 	"darkarts/internal/obs"
 	"darkarts/internal/workload"
 )
@@ -34,102 +33,75 @@ func DefaultOptions() Options {
 	}
 }
 
-// DefenseSystem is the assembled machine + OS with the defense active.
+// DefenseSystem is the assembled machine + OS with the defense active: the
+// single-host convenience wrapper around machine.Machine (the unit package
+// fleet runs by the thousands).
 type DefenseSystem struct {
-	machine *cpu.CPU
-	kern    *kernel.Kernel
-	// nextBase allocates disjoint memory regions for ISA workloads.
-	nextBase uint64
+	m *machine.Machine
 }
 
 // NewDefenseSystem builds and wires the full stack.
 func NewDefenseSystem(opts Options) (*DefenseSystem, error) {
-	machine, err := cpu.New(opts.CPU)
-	if err != nil {
-		return nil, fmt.Errorf("defense system: %w", err)
-	}
-	table, err := tagTableByName(opts.TagSet)
+	m, err := machine.New(machine.Options{
+		CPU:    opts.CPU,
+		Kernel: opts.Kernel,
+		TagSet: opts.TagSet,
+	})
 	if err != nil {
 		return nil, err
 	}
-	update := microcode.FirmwareUpdate{Version: 1, Table: table}
-	if err := update.Apply(machine); err != nil {
-		return nil, fmt.Errorf("defense system: %w", err)
-	}
-	k := kernel.New(machine, opts.Kernel)
-	return &DefenseSystem{machine: machine, kern: k, nextBase: 0x1000_0000}, nil
+	return &DefenseSystem{m: m}, nil
 }
 
-func tagTableByName(name string) (*microcode.TagTable, error) {
-	switch name {
-	case "", "rsx":
-		return microcode.RSX(), nil
-	case "rsxo":
-		return microcode.RSXO(), nil
-	case "rotate-only":
-		return microcode.RotateOnly(), nil
-	default:
-		return nil, fmt.Errorf("defense system: unknown tag set %q", name)
-	}
-}
+// Unit returns the underlying machine.Machine.
+func (d *DefenseSystem) Unit() *machine.Machine { return d.m }
 
 // Machine returns the simulated CPU.
-func (d *DefenseSystem) Machine() *cpu.CPU { return d.machine }
+func (d *DefenseSystem) Machine() *cpu.CPU { return d.m.CPU() }
 
 // Kernel returns the simulated OS.
-func (d *DefenseSystem) Kernel() *kernel.Kernel { return d.kern }
+func (d *DefenseSystem) Kernel() *kernel.Kernel { return d.m.Kernel() }
 
 // ProcFS returns the runtime tunables filesystem.
-func (d *DefenseSystem) ProcFS() *kernel.ProcFS { return d.kern.ProcFS() }
+func (d *DefenseSystem) ProcFS() *kernel.ProcFS { return d.m.ProcFS() }
 
 // Obs returns the system's metrics registry (nil when Options.Kernel.Obs
 // was set to nil). cryptojackd serves it over HTTP; the same data renders
 // through the procfs stats file.
-func (d *DefenseSystem) Obs() *obs.Registry { return d.kern.Obs() }
+func (d *DefenseSystem) Obs() *obs.Registry { return d.m.Obs() }
 
 // UpdateMicrocode installs a new decoder tag table through the firmware
 // update path (e.g. switching RSX -> RSXO in the field).
 func (d *DefenseSystem) UpdateMicrocode(version uint32, tagSet string) error {
-	table, err := tagTableByName(tagSet)
-	if err != nil {
-		return err
-	}
-	return microcode.FirmwareUpdate{Version: version, Table: table}.Apply(d.machine)
+	return d.m.UpdateMicrocode(version, tagSet)
 }
 
 // SpawnApp schedules an application rate-model as a non-root process.
 func (d *DefenseSystem) SpawnApp(p workload.AppProfile) *kernel.Task {
-	return d.kern.Spawn(p.Name, 1000, workload.NewAppWorkload(p))
+	return d.m.SpawnApp(p)
 }
 
 // SpawnProgram loads an ISA program as a non-root process running at the
 // given effective instruction rate. Looping programs restart on halt.
 func (d *DefenseSystem) SpawnProgram(name string, prog *isa.Program, ips uint64, loop bool) (*kernel.Task, error) {
-	base := d.nextBase
-	d.nextBase += cpu.RegionSize(prog) + 1<<20
-	w, err := kernel.NewISAWorkload(prog, d.machine.Memory(), base, ips)
-	if err != nil {
-		return nil, fmt.Errorf("spawn %s: %w", name, err)
-	}
-	w.Loop = loop
-	return d.kern.Spawn(name, 1000, w), nil
+	return d.m.SpawnProgram(name, prog, ips, loop)
 }
 
 // Parallel reports whether the kernel will execute quanta on per-core
 // worker goroutines (the configured knob minus any serial-fallback
 // condition: single core, detailed mode, attached observer).
-func (d *DefenseSystem) Parallel() bool { return d.kern.ParallelActive() }
+func (d *DefenseSystem) Parallel() bool { return d.m.Parallel() }
 
 // Run advances simulated time.
-func (d *DefenseSystem) Run(dur time.Duration) { d.kern.Run(dur) }
+func (d *DefenseSystem) Run(dur time.Duration) { d.m.Run(dur) }
 
 // RunUntilAlert runs until an alert fires or the duration elapses.
 func (d *DefenseSystem) RunUntilAlert(dur time.Duration) bool {
-	return d.kern.RunUntilAlert(dur)
+	return d.m.RunUntilAlert(dur)
 }
 
 // Alerts returns all raised alerts.
-func (d *DefenseSystem) Alerts() []kernel.Alert { return d.kern.Alerts() }
+func (d *DefenseSystem) Alerts() []kernel.Alert { return d.m.Alerts() }
 
 // OnAlert registers an alert callback.
-func (d *DefenseSystem) OnAlert(fn func(kernel.Alert)) { d.kern.OnAlert(fn) }
+func (d *DefenseSystem) OnAlert(fn func(kernel.Alert)) { d.m.OnAlert(fn) }

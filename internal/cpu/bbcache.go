@@ -282,7 +282,10 @@ func (c *Core) runFastBlocks(maxInsts uint64) uint64 {
 		blk := blocks[pc]
 		if blk == nil {
 			c.bb.stats.Misses++
-			blk = buildBlock(code, pc, tags)
+			if blk = c.shared.get(ctx.Prog, gen, pc); blk == nil {
+				blk = buildBlock(code, pc, tags)
+				c.shared.put(ctx.Prog, gen, pc, blk)
+			}
 			blocks[pc] = blk
 		} else {
 			c.bb.stats.Hits++

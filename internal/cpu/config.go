@@ -32,14 +32,14 @@ func (m Mode) String() string {
 // hierarchy); pipeline-structure parameters not given in the paper use
 // values typical of the era's cores.
 type Config struct {
-	Cores    int
-	FreqHz   uint64
-	Mode     Mode
-	MemCfg   mem.HierarchyConfig
-	FetchWidth    int
-	FrontendDepth int // cycles between fetch and rename
-	RetireWidth   int
-	ROBSize       int
+	Cores             int
+	FreqHz            uint64
+	Mode              Mode
+	MemCfg            mem.HierarchyConfig
+	FetchWidth        int
+	FrontendDepth     int // cycles between fetch and rename
+	RetireWidth       int
+	ROBSize           int
 	MispredictPenalty int
 	PredictorBits     int // gshare history/table bits
 	RASDepth          int
@@ -57,6 +57,12 @@ type Config struct {
 	// engine. Same audience as NoBlockCache: differential tests and A/B
 	// benchmarks isolating the trace layer's contribution.
 	NoTraceCache bool
+	// SharedBlocks, when non-nil, lets this machine's cores share decoded
+	// basic blocks with every other machine wired to the same cache
+	// (sharedbb.go). Fleets pass one process-wide cache so a program image
+	// is decoded once per tag-table generation instead of once per core
+	// per machine; nil keeps decoding fully core-private.
+	SharedBlocks *SharedBlocks
 }
 
 // DefaultConfig returns the Table I machine in fast mode.

@@ -66,8 +66,10 @@ type Core struct {
 	tlb memTLB
 
 	// bb is the per-core basic-block translation cache (fast mode only;
-	// see bbcache.go).
-	bb blockCache
+	// see bbcache.go). shared, when non-nil, is the fleet-scope decoded-
+	// block cache consulted on local misses (sharedbb.go).
+	bb     blockCache
+	shared *SharedBlocks
 
 	// eng is the superblock trace executor's state and trStats its
 	// counters (fast mode only; see trace.go).

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, machines int) (*Fleet, *httptest.Server) {
+	t.Helper()
+	f, err := New(testConfig(machines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(srv.Close)
+	return f, srv
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestAPISubmitAndAlerts(t *testing.T) {
+	f, srv := testServer(t, 4)
+
+	// Submit a miner for tenant "mallory" and an app for "acme".
+	var pl Placement
+	body := `{"tenant":"mallory","kind":"miner","machine":2,"pin":true}`
+	resp, err := http.Post(srv.URL+"/api/v1/workloads", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pl.Machine != 2 || len(pl.Tgids) == 0 || pl.Deferred {
+		t.Fatalf("placement = %+v", pl)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/v1/workloads",
+		strings.NewReader(`{"kind":"app","app":"Slack"}`))
+	req.Header.Set("X-Tenant", "acme") // tenant via header instead of body
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("header-tenant submit status = %d", resp2.StatusCode)
+	}
+
+	f.Run(5 * time.Second)
+
+	// Fleet summary reflects the run.
+	var sum fleetSummary
+	getJSON(t, srv.URL+"/api/v1/fleet", &sum)
+	if sum.Machines != 4 || sum.Tenants != 2 || sum.Rounds == 0 || sum.Alerts == 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(sum.Catalog) == 0 {
+		t.Error("summary catalog empty")
+	}
+
+	// The miner's alerts are scoped to its tenant.
+	var page alertsPage
+	getJSON(t, srv.URL+"/api/v1/alerts?tenant=mallory", &page)
+	if len(page.Alerts) == 0 {
+		t.Fatal("no alerts for mallory")
+	}
+	for _, a := range page.Alerts {
+		if a.Tenant != "mallory" || a.Machine != 2 {
+			t.Fatalf("mis-scoped alert %+v", a)
+		}
+	}
+	var acme alertsPage
+	getJSON(t, srv.URL+"/api/v1/alerts?tenant=acme", &acme)
+	if len(acme.Alerts) != 0 {
+		t.Fatalf("benign tenant saw %d alerts", len(acme.Alerts))
+	}
+
+	// Cursor paging: from page.Next the stream is drained.
+	var tip alertsPage
+	getJSON(t, srv.URL+"/api/v1/alerts?since="+jsonUint(page.Next), &tip)
+	if len(tip.Alerts) != 0 || tip.Trimmed != 0 {
+		t.Fatalf("tip page = %+v", tip)
+	}
+
+	// Machines listing covers every member.
+	var machines []machineSummary
+	getJSON(t, srv.URL+"/api/v1/machines", &machines)
+	if len(machines) != 4 {
+		t.Fatalf("machines = %d", len(machines))
+	}
+	if machines[2].Tasks == 0 || machines[2].Placed == 0 {
+		t.Fatalf("machine 2 summary = %+v", machines[2])
+	}
+
+	// Stats snapshot carries fleet metrics.
+	var stats []map[string]any
+	getJSON(t, srv.URL+"/api/v1/stats", &stats)
+	found := false
+	for _, m := range stats {
+		if m["name"] == "fleet_alerts_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stats snapshot missing fleet_alerts_total")
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	f, srv := testServer(t, 2)
+	cases := []struct {
+		method, path, body string
+		status             int
+	}{
+		{http.MethodPost, "/api/v1/workloads", `{"tenant":"t","kind":"nope"}`, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/workloads", `not json`, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/workloads", `{"kind":"app","app":"Slack"}`, http.StatusBadRequest}, // no tenant
+		{http.MethodGet, "/api/v1/workloads", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/api/v1/fleet", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/api/v1/alerts?since=abc", "", http.StatusBadRequest},
+		{http.MethodGet, "/api/v1/alerts?limit=x", "", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, srv.URL+c.path, strings.NewReader(c.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s %s: status = %d, want %d", c.method, c.path, resp.StatusCode, c.status)
+		}
+	}
+	if n, _ := f.Obs().Value("fleet_api_errors_total", ""); n != float64(len(cases)) {
+		t.Errorf("fleet_api_errors_total = %v, want %d", n, len(cases))
+	}
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -1,0 +1,410 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/isa"
+	"darkarts/internal/kernel"
+	"darkarts/internal/machine"
+	"darkarts/internal/obs"
+)
+
+// Config sizes and configures a Fleet.
+type Config struct {
+	// Machines is the number of simulated hosts (required, >= 1).
+	Machines int
+	// Shards is the number of worker shards the machines are partitioned
+	// across; each shard owns one persistent worker goroutine. 0 picks
+	// min(Machines, GOMAXPROCS). Shard count affects wall-clock speed
+	// only: the alert stream is bit-identical for every value.
+	Shards int
+	// Round is the simulated time every machine advances between barriers
+	// (default 1s). Alerts are batched per machine per round and flushed
+	// into the fleet stream at the barrier, so Round bounds both alert
+	// staleness and submission-placement latency.
+	Round time.Duration
+	// Machine is the per-host template. The fleet overrides ID per slot
+	// and wires the shared decoded-block cache into CPU.SharedBlocks;
+	// everything else is taken as-is. The default template turns machine-
+	// local observability and intra-machine parallelism off — the fleet
+	// parallelizes across machines and observes at fleet scope.
+	Machine machine.Options
+	// Seed namespaces the fleet's derived workload variation (see
+	// fleetload); two fleets with equal Seed, Config, and submission
+	// schedule produce bit-identical alert streams.
+	Seed int64
+	// AlertRetention caps the alert stream window kept for API readers
+	// (default 65536). The stream's sequence numbers are absolute, so
+	// trimmed alerts are detectable (and counted as drops).
+	AlertRetention int
+	// Obs is the fleet-level metrics registry (fleet_* catalog in
+	// OBSERVABILITY.md); nil disables fleet instrumentation.
+	Obs *obs.Registry
+	// NoSharedBlocks keeps every core's decoded-block cache private
+	// (the pre-fleet behaviour). The zero value shares one process-wide
+	// cache across all member machines.
+	NoSharedBlocks bool
+}
+
+// DefaultConfig returns a fleet template: n machines, auto shards, 1s
+// rounds, fleet-scope block sharing, and a machine template with the
+// Table I hardware, serial in-machine scheduling, and no per-machine
+// metrics registry.
+func DefaultConfig(n int) Config {
+	m := machine.DefaultOptions()
+	m.Kernel.Parallel = false
+	m.Kernel.Obs = nil
+	return Config{
+		Machines: n,
+		Round:    time.Second,
+		Machine:  m,
+		Obs:      obs.NewRegistry(),
+	}
+}
+
+// Alert is one fleet-stream entry: a kernel alert tagged with its origin
+// machine, owning tenant, and absolute stream sequence number.
+type Alert struct {
+	Seq     uint64 `json:"seq"`
+	Machine int    `json:"machine"`
+	Tenant  string `json:"tenant,omitempty"`
+	kernel.Alert
+}
+
+// Member is one fleet slot: a machine plus its shard assignment and
+// streaming state.
+type Member struct {
+	ID    int
+	Shard int
+	M     *machine.Machine
+
+	// pending buffers the round's alerts. It is appended to by the
+	// machine's OnAlert callback (on the shard worker goroutine) and
+	// drained by the coordinator at the round barrier; the barrier's
+	// happens-before edge orders the two.
+	pending []kernel.Alert
+	// placed counts workloads placed on this member (the placement
+	// heuristic's load signal).
+	placed int
+}
+
+// tenantKey identifies a placed workload's alert ownership: alerts from
+// this machine and thread group belong to the tenant.
+type tenantKey struct {
+	machine int
+	tgid    int
+}
+
+// shard is one worker of the per-shard pool, mirroring the kernel's
+// stealWorker: a persistent goroutine that advances its member range one
+// round per start signal.
+type shard struct {
+	f       *Fleet
+	id      int
+	members []*Member
+	start   chan time.Duration
+	busy    time.Duration // wall time advancing machines, last round
+}
+
+// Fleet runs thousands of Machines in one process: machines are
+// partitioned across per-shard worker goroutines, advance in lock-step
+// rounds of simulated time, and flush per-machine alert batches into one
+// canonically ordered fleet stream at every round barrier.
+//
+// Determinism: machines are mutually independent (the only shared
+// structure, the decoded-block cache, is content-deterministic and
+// read-mostly), and the barrier drains batches in machine-ID order — so
+// the alert stream is bit-identical across shard counts and across runs.
+// Submissions placed while the fleet is quiescent (before Run, or between
+// Run calls) are part of that guarantee; submissions during a running
+// round land immediately and are placed best-effort relative to it.
+//
+// Run must be driven from one goroutine at a time. Submit, AlertsSince,
+// Members, and the API handlers are safe to call concurrently with Run.
+type Fleet struct {
+	cfg     Config
+	members []*Member
+	shards  []*shard
+	shared  *cpu.SharedBlocks
+	om      *fmetrics
+
+	// mu guards the alert stream, tenancy tables, and placement state
+	// against concurrent API readers/writers.
+	mu         sync.Mutex
+	stream     []Alert              // guarded by mu
+	baseSeq    uint64               // guarded by mu
+	nextSeq    uint64               // guarded by mu
+	owners     map[tenantKey]string // guarded by mu
+	tenants    map[string]int       // guarded by mu
+	placeID    int                  // guarded by mu
+	pendingSub []boundSpec          // guarded by mu
+	running    bool                 // guarded by mu
+
+	catalogOnce sync.Once
+	catalog     map[string]*isa.Program // immutable after catalogOnce
+
+	workerWG sync.WaitGroup
+	simTime  time.Duration
+	rounds   uint64
+}
+
+// New builds the fleet: machines, shard partition, shared block cache.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("fleet: machines = %d", cfg.Machines)
+	}
+	if cfg.Round <= 0 {
+		cfg.Round = time.Second
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards > cfg.Machines {
+		cfg.Shards = cfg.Machines
+	}
+	if cfg.AlertRetention <= 0 {
+		cfg.AlertRetention = 65536
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		owners:  map[tenantKey]string{},
+		tenants: map[string]int{},
+	}
+	if !cfg.NoSharedBlocks {
+		f.shared = cpu.NewSharedBlocks()
+	}
+	// One decoder tag table for the whole fleet: block-cache keys include
+	// the table's unique generation, so per-machine tables would make
+	// cross-machine sharing structurally impossible (every machine a
+	// different generation). The table is immutable, so sharing one
+	// instance adds no cross-machine ordering.
+	if cfg.Machine.TagTable == nil {
+		table, err := machine.TagTableByName(cfg.Machine.TagSet)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Machine.TagTable = table
+	}
+	if cfg.Obs != nil {
+		f.om = newFMetrics(cfg.Obs, cfg.Shards)
+		f.om.shards.Set(int64(cfg.Shards))
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		opts := cfg.Machine
+		opts.ID = i
+		opts.CPU.SharedBlocks = f.shared
+		m, err := machine.New(opts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet machine %d: %w", i, err)
+		}
+		mem := &Member{ID: i, M: m}
+		m.OnAlert(func(a kernel.Alert) { mem.pending = append(mem.pending, a) })
+		f.members = append(f.members, mem)
+	}
+	// Contiguous balanced partition: shard s owns members [lo, hi). The
+	// partition affects scheduling only, never results.
+	per := cfg.Machines / cfg.Shards
+	extra := cfg.Machines % cfg.Shards
+	lo := 0
+	for s := 0; s < cfg.Shards; s++ {
+		n := per
+		if s < extra {
+			n++
+		}
+		sh := &shard{f: f, id: s, members: f.members[lo : lo+n], start: make(chan time.Duration, 1)}
+		for _, mem := range sh.members {
+			mem.Shard = s
+		}
+		f.shards = append(f.shards, sh)
+		lo += n
+		if f.om != nil {
+			f.om.machines[s].Set(int64(n))
+		}
+	}
+	return f, nil
+}
+
+// Config returns the fleet's effective (defaulted) configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Members returns the fleet's member slots (fixed after New; the slice is
+// shared, do not mutate).
+func (f *Fleet) Members() []*Member { return f.members }
+
+// SharedBlocks returns the fleet-scope decoded-block cache (nil when
+// sharing is disabled).
+func (f *Fleet) SharedBlocks() *cpu.SharedBlocks { return f.shared }
+
+// Obs returns the fleet-level metrics registry (nil when disabled).
+func (f *Fleet) Obs() *obs.Registry { return f.cfg.Obs }
+
+// Now returns the fleet's simulated time (all machines agree at barriers).
+func (f *Fleet) Now() time.Duration { return f.simTime }
+
+// Rounds returns the number of completed fleet rounds.
+func (f *Fleet) Rounds() uint64 { return f.rounds }
+
+// loop is the shard worker: one round of simulated time per start signal.
+func (sh *shard) loop() {
+	for d := range sh.start {
+		var t0 time.Time
+		if sh.f.om != nil {
+			//lint:ignore determinism host wall clock feeds the shard busy-time metric only, never simulation state
+			t0 = time.Now()
+		}
+		for _, mem := range sh.members {
+			mem.M.Run(d)
+		}
+		if sh.f.om != nil {
+			sh.busy = time.Since(t0)
+		}
+		sh.f.workerWG.Done()
+	}
+}
+
+// Run advances every machine by d of simulated time in Round-sized
+// lock-step rounds (the tail round is shortened so all machines land
+// exactly d later). It must not be called concurrently with itself.
+func (f *Fleet) Run(d time.Duration) {
+	for _, sh := range f.shards {
+		go sh.loop()
+	}
+	defer func() {
+		for _, sh := range f.shards {
+			close(sh.start)
+			sh.start = make(chan time.Duration, 1)
+		}
+	}()
+	f.setRunning(true)
+	defer f.setRunning(false)
+	for done := time.Duration(0); done < d; {
+		step := f.cfg.Round
+		if remain := d - done; remain < step {
+			step = remain
+		}
+		f.round(step)
+		done += step
+	}
+}
+
+// round runs one barrier-to-barrier step: all shards advance their
+// machines by step concurrently, then the coordinator drains per-machine
+// alert batches in machine-ID order — the canonical stream order that
+// makes the result independent of sharding.
+func (f *Fleet) round(step time.Duration) {
+	var t0 time.Time
+	if f.om != nil {
+		//lint:ignore determinism host wall clock feeds the round-timing metric only, never simulation state
+		t0 = time.Now()
+	}
+	f.workerWG.Add(len(f.shards))
+	for _, sh := range f.shards {
+		sh.start <- step
+	}
+	f.workerWG.Wait()
+	f.collect(step)
+	f.simTime += step
+	f.rounds++
+	if f.om != nil {
+		wall := time.Since(t0)
+		f.om.rounds.Inc()
+		f.om.roundNs.Observe(uint64(wall))
+		f.om.machineMs.Add(uint64(len(f.members)) * uint64(step.Milliseconds()))
+		for _, sh := range f.shards {
+			f.om.shardBusy[sh.id].Add(uint64(sh.busy))
+			if idle := wall - sh.busy; idle > 0 {
+				f.om.shardIdle[sh.id].Add(uint64(idle))
+			}
+		}
+		f.om.observeShared(f.shared.Stats())
+	}
+}
+
+func (f *Fleet) setRunning(v bool) {
+	f.mu.Lock()
+	f.running = v
+	f.mu.Unlock()
+}
+
+// collect flushes every member's pending alert batch into the stream, in
+// member-ID order, trimming the retention window, then applies deferred
+// submissions while every machine is quiescent at the barrier. step is the
+// round just executed (machines sit at f.simTime+step).
+func (f *Fleet) collect(step time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var batched, batches uint64
+	for _, mem := range f.members {
+		if len(mem.pending) == 0 {
+			continue
+		}
+		batches++
+		for _, a := range mem.pending {
+			fa := Alert{
+				Seq:     f.nextSeq,
+				Machine: mem.ID,
+				Tenant:  f.owners[tenantKey{machine: mem.ID, tgid: a.Tgid}],
+				Alert:   a,
+			}
+			f.nextSeq++
+			f.stream = append(f.stream, fa)
+			batched++
+			if f.om != nil {
+				f.om.alertLagMs.Observe(uint64((f.simTime + step - a.Time).Milliseconds()))
+			}
+		}
+		mem.pending = mem.pending[:0]
+	}
+	if over := len(f.stream) - f.cfg.AlertRetention; over > 0 {
+		f.stream = append(f.stream[:0:0], f.stream[over:]...)
+		f.baseSeq += uint64(over)
+		if f.om != nil {
+			f.om.alertsDrop.Add(uint64(over))
+		}
+	}
+	if f.om != nil {
+		f.om.alerts.Add(batched)
+		f.om.alertBatches.Add(batches)
+	}
+	f.applyPendingLocked()
+}
+
+// AlertsSince returns up to limit alerts with sequence >= since, optionally
+// filtered to one tenant (empty tenant = all), plus the cursor to pass as
+// the next since and the number of matching alerts that were already
+// trimmed from the retention window (0 means the read was lossless).
+func (f *Fleet) AlertsSince(since uint64, tenant string, limit int) (alerts []Alert, next uint64, trimmed uint64) {
+	if limit <= 0 {
+		limit = 1000
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if since < f.baseSeq {
+		trimmed = f.baseSeq - since
+		since = f.baseSeq
+	}
+	next = since
+	for _, a := range f.stream[min(int(since-f.baseSeq), len(f.stream)):] {
+		next = a.Seq + 1
+		if tenant != "" && a.Tenant != tenant {
+			continue
+		}
+		alerts = append(alerts, a)
+		if len(alerts) >= limit {
+			break
+		}
+	}
+	return alerts, next, trimmed
+}
+
+// AlertStream returns the entire retained alert stream (testing and small
+// fleets; API readers should page with AlertsSince).
+func (f *Fleet) AlertStream() []Alert {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Alert(nil), f.stream...)
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"strconv"
+
+	"darkarts/internal/cpu"
+	"darkarts/internal/obs"
+)
+
+// Histogram bucket bounds: round wall times span sub-millisecond (idle
+// fleets) to seconds (thousand-machine rounds); API latencies span
+// microseconds to tens of milliseconds.
+var (
+	fleetNsBuckets  = []uint64{100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000}
+	apiNsBuckets    = []uint64{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+	alertLagBuckets = []uint64{10, 100, 250, 500, 1_000, 5_000, 60_000}
+)
+
+// fmetrics holds the fleet's pre-resolved observability handles. Handles
+// are registered once at fleet construction; when Config.Obs is nil the
+// fleet's om field is nil and every instrumentation site is one branch
+// (the same contract as the kernel's kmetrics).
+type fmetrics struct {
+	reg *obs.Registry
+
+	machines  []*obs.Gauge // per shard
+	shards    *obs.Gauge
+	rounds    *obs.Counter
+	machineMs *obs.Counter
+	roundNs   *obs.Histogram
+	shardBusy []*obs.Counter
+	shardIdle []*obs.Counter
+
+	alerts       *obs.Counter
+	alertBatches *obs.Counter
+	alertsDrop   *obs.Counter
+	alertLagMs   *obs.Histogram
+	submissions  *obs.Counter
+	tenants      *obs.Gauge
+	tasksPlaced  *obs.Counter
+
+	sharedHits  *obs.Counter
+	sharedMiss  *obs.Counter
+	sharedPub   *obs.Counter
+	sharedEvict *obs.Counter
+	sharedLast  cpu.SharedBlocksStats
+
+	apiErrors *obs.Counter
+	apiNs     *obs.Histogram
+}
+
+func newFMetrics(reg *obs.Registry, shards int) *fmetrics {
+	m := &fmetrics{
+		reg: reg,
+		shards: reg.Gauge(obs.Desc{Name: "fleet_shards", Layer: obs.LayerFleet,
+			Unit: "shards", Help: "worker shards the fleet's machines are partitioned across"}),
+		rounds: reg.Counter(obs.Desc{Name: "fleet_rounds_total", Layer: obs.LayerFleet,
+			Unit: "rounds", Help: "fleet rounds completed (one Round of simulated time on every machine)"}),
+		machineMs: reg.Counter(obs.Desc{Name: "fleet_machine_ms_total", Layer: obs.LayerFleet,
+			Unit: "ms", Help: "simulated machine-milliseconds advanced (machines x rounds x round length)"}),
+		roundNs: reg.Histogram(obs.Desc{Name: "fleet_round_ns", Layer: obs.LayerFleet,
+			Unit: "ns", Help: "host wall time per fleet round (all shards, barrier to barrier)"}, fleetNsBuckets),
+		alerts: reg.Counter(obs.Desc{Name: "fleet_alerts_total", Layer: obs.LayerFleet,
+			Unit: "alerts", Help: "alerts appended to the fleet alert stream"}),
+		alertBatches: reg.Counter(obs.Desc{Name: "fleet_alert_batches_total", Layer: obs.LayerFleet,
+			Unit: "batches", Help: "non-empty per-machine alert batches flushed at round barriers"}),
+		alertsDrop: reg.Counter(obs.Desc{Name: "fleet_alerts_dropped_total", Layer: obs.LayerFleet,
+			Unit: "alerts", Help: "alerts trimmed from the retention window before any reader consumed them"}),
+		alertLagMs: reg.Histogram(obs.Desc{Name: "fleet_alert_latency_ms", Layer: obs.LayerFleet,
+			Unit: "ms", Help: "simulated time from an alert firing on its machine to its flush into the fleet stream (bounded by Round)"}, alertLagBuckets),
+		submissions: reg.Counter(obs.Desc{Name: "fleet_submissions_total", Layer: obs.LayerFleet,
+			Unit: "workloads", Help: "workload submissions placed onto machines"}),
+		tenants: reg.Gauge(obs.Desc{Name: "fleet_tenants", Layer: obs.LayerFleet,
+			Unit: "tenants", Help: "distinct tenants with at least one placed workload"}),
+		tasksPlaced: reg.Counter(obs.Desc{Name: "fleet_tasks_placed_total", Layer: obs.LayerFleet,
+			Unit: "tasks", Help: "kernel tasks created by fleet workload placement (threads included)"}),
+		sharedHits: reg.Counter(obs.Desc{Name: "fleet_bbcache_shared_hits_total", Layer: obs.LayerFleet,
+			Unit: "blocks", Help: "decoded-block fetches served by the fleet-scope shared cache (decodes avoided)"}),
+		sharedMiss: reg.Counter(obs.Desc{Name: "fleet_bbcache_shared_misses_total", Layer: obs.LayerFleet,
+			Unit: "blocks", Help: "shared-cache lookups that fell through to a core-local decode"}),
+		sharedPub: reg.Counter(obs.Desc{Name: "fleet_bbcache_shared_published_total", Layer: obs.LayerFleet,
+			Unit: "blocks", Help: "locally decoded blocks published into the shared cache"}),
+		sharedEvict: reg.Counter(obs.Desc{Name: "fleet_bbcache_shared_evictions_total", Layer: obs.LayerFleet,
+			Unit: "evictions", Help: "whole shared-cache drops at the capacity bound"}),
+		apiErrors: reg.Counter(obs.Desc{Name: "fleet_api_errors_total", Layer: obs.LayerFleet,
+			Unit: "requests", Help: "fleet API requests answered with a 4xx/5xx status"}),
+		apiNs: reg.Histogram(obs.Desc{Name: "fleet_api_request_ns", Layer: obs.LayerFleet,
+			Unit: "ns", Help: "fleet API request handling latency"}, apiNsBuckets),
+	}
+	for s := 0; s < shards; s++ {
+		label := obs.Label("shard", strconv.Itoa(s))
+		m.machines = append(m.machines, reg.Gauge(obs.Desc{
+			Name: "fleet_machines", Label: label, Layer: obs.LayerFleet,
+			Unit: "machines", Help: "machines assigned to the shard"}))
+		m.shardBusy = append(m.shardBusy, reg.Counter(obs.Desc{
+			Name: "fleet_shard_busy_ns_total", Label: label, Layer: obs.LayerFleet,
+			Unit: "ns", Help: "host time the shard worker spent advancing its machines"}))
+		m.shardIdle = append(m.shardIdle, reg.Counter(obs.Desc{
+			Name: "fleet_shard_idle_ns_total", Label: label, Layer: obs.LayerFleet,
+			Unit: "ns", Help: "host time the shard worker waited at round barriers (round wall minus busy)"}))
+	}
+	return m
+}
+
+// apiCounter returns the request counter for an API route. Registration is
+// get-or-create under the registry's own lock, so handlers may call this
+// concurrently; the API path is not hot.
+func (m *fmetrics) apiCounter(route string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter(obs.Desc{Name: "fleet_api_requests_total",
+		Label: obs.Label("route", route), Layer: obs.LayerFleet,
+		Unit: "requests", Help: "fleet API requests served, by route"})
+}
+
+// observeShared folds the shared block cache's counter deltas since the
+// last barrier into the fleet registry.
+func (m *fmetrics) observeShared(s cpu.SharedBlocksStats) {
+	m.sharedHits.Add(s.Hits - m.sharedLast.Hits)
+	m.sharedMiss.Add(s.Misses - m.sharedLast.Misses)
+	m.sharedPub.Add(s.Published - m.sharedLast.Published)
+	m.sharedEvict.Add(s.Evictions - m.sharedLast.Evictions)
+	m.sharedLast = s
+}

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"darkarts/internal/cryptoalg"
+	"darkarts/internal/isa"
+	"darkarts/internal/miner"
+	"darkarts/internal/workload"
+)
+
+// Workload kinds accepted by Submit and the /api/v1/workloads endpoint.
+const (
+	KindApp     = "app"     // calibrated Table II application rate model
+	KindMiner   = "miner"   // cryptojacking miner rate model (the threat)
+	KindProgram = "program" // real ISA program from the fleet catalog
+)
+
+// WorkloadSpec describes one workload submission. Tenant and Kind are
+// required; the remaining fields parameterize the kind.
+type WorkloadSpec struct {
+	// Tenant is the owning tenant; alerts raised by this workload's thread
+	// groups are attributed to it.
+	Tenant string `json:"tenant"`
+	// Kind is KindApp, KindMiner, or KindProgram.
+	Kind string `json:"kind"`
+	// Machine pins placement to a machine ID; -1 (or omitted via
+	// Machine=0 with Pin=false... see Pin) lets the fleet place.
+	Machine int `json:"machine"`
+	// Pin, when true, places on exactly Machine instead of the
+	// least-loaded member.
+	Pin bool `json:"pin,omitempty"`
+
+	// App is the Table II application name (kind "app"), e.g. "Firefox".
+	App string `json:"app,omitempty"`
+
+	// Coin is "monero" (default) or "zcash" (kind "miner").
+	Coin string `json:"coin,omitempty"`
+	// Throttle is the miner's duty-cycle reduction in [0,1) (kind "miner").
+	Throttle float64 `json:"throttle,omitempty"`
+	// Threads is the miner's thread count (kind "miner", default 4).
+	Threads int `json:"threads,omitempty"`
+
+	// Program is a fleet catalog entry (kind "program"): "sha256",
+	// "keccak", "aes", or "blake2b".
+	Program string `json:"program,omitempty"`
+	// IPS is the program's effective instruction rate (kind "program",
+	// default 200000 — cheap to simulate, enough to exercise the decoder).
+	IPS uint64 `json:"ips,omitempty"`
+}
+
+// Placement reports where a submission landed.
+type Placement struct {
+	// Machine is the member the workload was (or will be) spawned on.
+	Machine int `json:"machine"`
+	// Shard is that member's worker shard.
+	Shard int `json:"shard"`
+	// Tgids are the spawned thread groups (one per task; a miner spawns
+	// Threads thread groups). Empty when Deferred.
+	Tgids []int `json:"tgids,omitempty"`
+	// Deferred is true when the fleet was mid-round and the spawn happens
+	// at the next round barrier (Tgids unknown until then).
+	Deferred bool `json:"deferred,omitempty"`
+}
+
+// boundSpec is a submission bound to its placement decision, queued for
+// application at the next round barrier.
+type boundSpec struct {
+	spec   WorkloadSpec
+	member *Member
+}
+
+// Catalog returns the fleet's shared ISA program catalog names, sorted.
+// Every machine loads catalog programs from the same *isa.Program image,
+// which is what lets the fleet-scope decoded-block cache deduplicate
+// decode work across machines.
+func (f *Fleet) Catalog() []string {
+	f.ensureCatalog()
+	names := make([]string, 0, len(f.catalog))
+	for n := range f.catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ensureCatalog builds the shared program images once; concurrent callers
+// (API handlers, Submit) synchronize on the Once and the map is immutable
+// afterwards.
+func (f *Fleet) ensureCatalog() {
+	f.catalogOnce.Do(func() {
+		sha, _ := cryptoalg.BuildSHA256Program(4)
+		kec, _ := cryptoalg.BuildKeccakHashProgram(4)
+		aes, _ := cryptoalg.BuildAESProgram(make([]byte, 16), 4)
+		bla, _ := cryptoalg.BuildBlake2bProgram(32, 4)
+		f.catalog = map[string]*isa.Program{
+			"sha256":  sha,
+			"keccak":  kec,
+			"aes":     aes,
+			"blake2b": bla,
+		}
+	})
+}
+
+// Submit validates spec, picks a member (least workloads placed, ties to
+// the lowest machine ID, unless pinned), and spawns the workload — either
+// immediately (fleet quiescent) or at the next round barrier (fleet
+// running). Submissions made while the fleet is quiescent are covered by
+// the fleet's determinism guarantee; mid-run submissions land at a
+// barrier whose position depends on wall-clock timing.
+func (f *Fleet) Submit(spec WorkloadSpec) (Placement, error) {
+	if spec.Tenant == "" {
+		return Placement{}, fmt.Errorf("fleet: submission needs a tenant")
+	}
+	if err := f.validate(spec); err != nil {
+		return Placement{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mem, err := f.pickLocked(spec)
+	if err != nil {
+		return Placement{}, err
+	}
+	mem.placed++
+	f.placeID++
+	f.tenants[spec.Tenant]++
+	if f.om != nil {
+		f.om.submissions.Inc()
+		f.om.tenants.Set(int64(len(f.tenants)))
+	}
+	pl := Placement{Machine: mem.ID, Shard: mem.Shard}
+	if f.running {
+		f.pendingSub = append(f.pendingSub, boundSpec{spec: spec, member: mem})
+		pl.Deferred = true
+		return pl, nil
+	}
+	tgids, err := f.applyLocked(spec, mem)
+	if err != nil {
+		return Placement{}, err
+	}
+	pl.Tgids = tgids
+	return pl, nil
+}
+
+// validate rejects malformed specs before any placement state changes.
+func (f *Fleet) validate(spec WorkloadSpec) error {
+	switch spec.Kind {
+	case KindApp:
+		if _, err := appProfile(spec.App); err != nil {
+			return err
+		}
+	case KindMiner:
+		switch spec.Coin {
+		case "", string(miner.Monero), string(miner.Zcash):
+		default:
+			return fmt.Errorf("fleet: unknown coin %q", spec.Coin)
+		}
+		if spec.Throttle < 0 || spec.Throttle >= 1 {
+			return fmt.Errorf("fleet: miner throttle %v outside [0,1)", spec.Throttle)
+		}
+	case KindProgram:
+		f.ensureCatalog()
+		if _, ok := f.catalog[spec.Program]; !ok {
+			return fmt.Errorf("fleet: unknown catalog program %q (have %v)", spec.Program, f.Catalog())
+		}
+	default:
+		return fmt.Errorf("fleet: unknown workload kind %q", spec.Kind)
+	}
+	return nil
+}
+
+// pickLocked chooses the member for a spec: pinned machine, or the member
+// with the fewest placed workloads (ties to the lowest ID). Caller holds
+// f.mu.
+func (f *Fleet) pickLocked(spec WorkloadSpec) (*Member, error) {
+	if spec.Pin {
+		if spec.Machine < 0 || spec.Machine >= len(f.members) {
+			return nil, fmt.Errorf("fleet: no machine %d (fleet has %d)", spec.Machine, len(f.members))
+		}
+		return f.members[spec.Machine], nil
+	}
+	best := f.members[0]
+	for _, mem := range f.members[1:] {
+		if mem.placed < best.placed {
+			best = mem
+		}
+	}
+	return best, nil
+}
+
+// applyLocked spawns a bound submission onto its member. Caller holds
+// f.mu and the member's machine is quiescent (fleet idle, or at a round
+// barrier).
+//
+//cryptojack:locked
+func (f *Fleet) applyLocked(spec WorkloadSpec, mem *Member) ([]int, error) {
+	var tgids []int
+	switch spec.Kind {
+	case KindApp:
+		p, err := appProfile(spec.App)
+		if err != nil {
+			return nil, err
+		}
+		// Derive a per-placement seed so identical submission schedules
+		// reproduce exactly while distinct placements decorrelate.
+		p.Seed = f.cfg.Seed<<20 ^ int64(mem.ID)<<8 ^ int64(mem.placed)
+		tgids = append(tgids, mem.M.SpawnApp(p).Tgid)
+	case KindMiner:
+		coin := miner.Coin(spec.Coin)
+		if spec.Coin == "" {
+			coin = miner.Monero
+		}
+		threads := spec.Threads
+		if threads <= 0 {
+			threads = 4
+		}
+		for _, t := range miner.SpawnMiner(mem.M.Kernel(), coin, spec.Throttle, threads, 1000) {
+			tgids = append(tgids, t.Tgid)
+		}
+	case KindProgram:
+		f.ensureCatalog()
+		ips := spec.IPS
+		if ips == 0 {
+			ips = 200_000
+		}
+		t, err := mem.M.SpawnProgram(spec.Program, f.catalog[spec.Program], ips, true)
+		if err != nil {
+			return nil, err
+		}
+		tgids = append(tgids, t.Tgid)
+	}
+	for _, tgid := range tgids {
+		f.owners[tenantKey{machine: mem.ID, tgid: tgid}] = spec.Tenant
+	}
+	if f.om != nil {
+		f.om.tasksPlaced.Add(uint64(len(tgids)))
+	}
+	return tgids, nil
+}
+
+// applyPendingLocked drains the deferred-submission queue at a round
+// barrier. Spawn errors are counted and dropped — the submitter already
+// got a Deferred placement and the machine stays consistent.
+//
+//cryptojack:locked
+func (f *Fleet) applyPendingLocked() {
+	for _, b := range f.pendingSub {
+		if _, err := f.applyLocked(b.spec, b.member); err != nil && f.om != nil {
+			f.om.apiErrors.Inc()
+		}
+	}
+	f.pendingSub = f.pendingSub[:0]
+}
+
+// appProfile finds a Table II application profile by name.
+func appProfile(name string) (workload.AppProfile, error) {
+	for _, p := range workload.TableIIApps() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return workload.AppProfile{}, fmt.Errorf("fleet: unknown app %q", name)
+}

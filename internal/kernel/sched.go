@@ -24,13 +24,13 @@ const (
 
 // Alert is a cryptojacking detection event (Figure 3, step 4).
 type Alert struct {
-	Time       time.Duration // simulated time of the alert
-	Pid        int
-	Tgid       int
-	Name       string
-	Scope      AlertScope
-	RSXInWin   uint64  // RSX instructions observed in the monitoring window
-	RatePerMin float64 // normalized rate that tripped the threshold
+	Time       time.Duration `json:"time"` // simulated time of the alert
+	Pid        int           `json:"pid"`
+	Tgid       int           `json:"tgid"`
+	Name       string        `json:"name"`
+	Scope      AlertScope    `json:"scope"`
+	RSXInWin   uint64        `json:"rsx_in_window"` // RSX instructions observed in the monitoring window
+	RatePerMin float64       `json:"rate_per_min"`  // normalized rate that tripped the threshold
 }
 
 // String renders the alert as the user-visible message.

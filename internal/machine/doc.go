@@ -1,0 +1,18 @@
+// Package machine bundles one simulated host — CPU, memory, kernel,
+// decoder tag table, and observability scope — into a single self-contained
+// Machine unit with no package-level state.
+//
+// The paper's prototype defends one host; its deployment target is cloud
+// fleets where thousands of hosts run the same defense (CryptoGuard's
+// setting in PAPERS.md). Machine is the unit of that scale-out: every piece
+// of mutable simulation state (task lists, counters, RSX windows, caches,
+// simulated clock) hangs off the Machine instance, so a process can run
+// thousands of them concurrently (package fleet) with no cross-machine
+// synchronization. The single deliberate sharing point is the read-mostly
+// fleet-scope decoded-block cache (cpu.SharedBlocks) a fleet wires into
+// every member's cpu.Config — its entries are immutable, so it too adds no
+// ordering between machines.
+//
+// internal/core.DefenseSystem remains the single-host convenience wrapper
+// and delegates to this package.
+package machine

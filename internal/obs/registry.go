@@ -15,6 +15,7 @@ const (
 	LayerKernel = "kernel"
 	LayerDetect = "detect"
 	LayerDaemon = "daemon"
+	LayerFleet  = "fleet"
 )
 
 // Desc describes a metric at registration time. Name is the stable
