@@ -13,13 +13,19 @@ vet:
 	$(GO) vet ./...
 
 # Invariant linter: the internal/analysis suite (determinism, lockcheck,
-# locksetflow, lockorder, atomiccheck, hotpath, exhaustivedecode, ctrange)
-# run over the whole module, sharing one type-checked load and one call
-# graph. Zero findings is part of the tier-1 gate; -time reports the
-# per-analyzer wall time on stderr (recorded in OBSERVABILITY.md). See
-# DESIGN.md "Checked invariants".
+# locksetflow, lockorder, atomiccheck, hotpath, exhaustivedecode, ctrange,
+# hosttaint, statecheck, sharecheck) run over the whole module, sharing
+# one type-checked load and one call graph. Zero findings is part of the
+# tier-1 gate; -time reports the per-analyzer wall time on stderr
+# (recorded in OBSERVABILITY.md), -budget fails a clean run that blows
+# past 2x the reference wall clock (so taint-engine regressions surface
+# in CI, not in reviewers' patience), and -state-manifest regenerates the
+# committed snapshot-surface inventory in place — the cmd test fails if
+# it drifts from the annotations. See DESIGN.md §5d and §5g.
+LINT_BUDGET ?= 10s
 lint:
-	$(GO) run ./cmd/cryptojacklint -time ./...
+	$(GO) run ./cmd/cryptojacklint -time -budget $(LINT_BUDGET) \
+	  -state-manifest internal/machine/state_manifest.txt ./...
 
 build:
 	$(GO) build ./...

@@ -1,19 +1,22 @@
 // Command cryptojacklint is the reproduction's invariant linter: it runs
 // the internal/analysis suite (determinism, lockcheck, locksetflow,
-// lockorder, atomiccheck, hotpath, exhaustivedecode, ctrange) over the
-// module and reports every violation of the simulator's machine-checked
-// conventions. All analyzers share one type-checked load of the module;
-// the module-wide analyzers additionally share one call graph. `make
-// lint` wires it into the tier-1 gate; DESIGN.md §5d catalogues the
+// lockorder, atomiccheck, hotpath, exhaustivedecode, ctrange, hosttaint,
+// statecheck, sharecheck) over the module and reports every violation of
+// the simulator's machine-checked conventions. All analyzers share one
+// type-checked load of the module; the module-wide analyzers
+// additionally share one call graph and one taint fixpoint. `make lint`
+// wires it into the tier-1 gate; DESIGN.md §5d/§5g catalogue the
 // analyzers and their annotation syntax.
 //
 // Usage:
 //
 //	cryptojacklint [-only names] [-sim-pkgs substrings]
-//	               [-ctrange-pkgs substrings] [-time] [-list] [patterns]
+//	               [-ctrange-pkgs substrings] [-state-manifest file]
+//	               [-budget duration] [-time] [-list] [patterns]
 //
 // Patterns default to ./... (the whole module). Exit status is 1 when any
-// finding is reported, 2 on load or usage errors.
+// finding is reported or the -budget wall-clock ceiling is exceeded, 2 on
+// load or usage errors.
 package main
 
 import (
@@ -29,19 +32,24 @@ import (
 	"darkarts/internal/analysis/ctrange"
 	"darkarts/internal/analysis/determinism"
 	"darkarts/internal/analysis/exhaustivedecode"
+	"darkarts/internal/analysis/hosttaint"
 	"darkarts/internal/analysis/hotpath"
 	"darkarts/internal/analysis/lockcheck"
 	"darkarts/internal/analysis/lockorder"
 	"darkarts/internal/analysis/locksetflow"
+	"darkarts/internal/analysis/sharecheck"
+	"darkarts/internal/analysis/statecheck"
 )
 
-// simPackagesDefault scopes the determinism analyzer to the simulation
-// packages whose state feeds the RSX counter pipeline, plus the machine
-// and fleet layers whose round barriers extend the serial/parallel
-// bit-identity guarantee to whole fleets (FLEET.md). Wall-clock or
-// map-order nondeterminism elsewhere (CLI rendering, experiments) cannot
-// break either guarantee.
-const simPackagesDefault = "internal/kernel,internal/cpu,internal/mem,internal/counters,internal/machine,internal/fleet"
+// simPackagesDefault scopes the determinism, hosttaint, statecheck, and
+// sharecheck analyzers to the simulation packages — the single shared
+// list in analysis.SimPackages: the packages whose state feeds the RSX
+// counter pipeline, the machine and fleet layers whose round barriers
+// extend the serial/parallel bit-identity guarantee to whole fleets
+// (FLEET.md), and the isa/microcode layers whose tables are part of the
+// decoded-program surface. Wall-clock or map-order nondeterminism
+// elsewhere (CLI rendering, experiments) cannot break either guarantee.
+var simPackagesDefault = analysis.SimScopeDefault()
 
 // ctrangePackagesDefault scopes the value-range analyzer to the packages
 // doing counter arithmetic; range reasoning about CLI or experiment code
@@ -61,6 +69,10 @@ func run(args []string, stdout, stderr *os.File) int {
 			"comma-separated package-path substrings the determinism analyzer is scoped to")
 		ctrangePkgs = fs.String("ctrange-pkgs", ctrangePackagesDefault,
 			"comma-separated package-path substrings the ctrange analyzer is scoped to")
+		manifest = fs.String("state-manifest", "",
+			"write the statecheck state inventory to this file after the run")
+		budget = fs.Duration("budget", 0,
+			"fail when the whole run (load + analyzers) exceeds this wall-clock ceiling")
 		timing = fs.Bool("time", false, "report per-analyzer wall time on stderr")
 		list   = fs.Bool("list", false, "list analyzers and exit")
 	)
@@ -77,6 +89,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		hotpath.Analyzer,
 		exhaustivedecode.Analyzer,
 		ctrange.Analyzer,
+		hosttaint.Analyzer,
+		statecheck.Analyzer,
+		sharecheck.Analyzer,
 	}
 	if *list {
 		for _, a := range all {
@@ -101,6 +116,15 @@ func run(args []string, stdout, stderr *os.File) int {
 			analyzers = append(analyzers, a)
 		}
 	}
+
+	// The module-wide taint/state analyzers bypass the per-package filter
+	// below; their scope is plumbed through package variables instead.
+	simScope := strings.Split(*simPkgs, ",")
+	hosttaint.Scope = simScope
+	statecheck.Scope = simScope
+	sharecheck.Scope = simScope
+
+	started := time.Now()
 
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -160,9 +184,25 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "cryptojacklint: %v\n", err)
 		return 2
 	}
+
+	// Suppression audit: malformed //lint:ignore comments are always
+	// findings; unused ones only when the full analyzer set ran (a -only
+	// run legitimately leaves other analyzers' suppressions idle).
+	findings = append(findings, analysis.SuppressionFindings(loader.Dirs, *only == "")...)
+	analysis.SortFindings(findings)
+
+	elapsed := time.Since(started)
 	if *timing {
 		for _, tm := range timings {
 			fmt.Fprintf(stderr, "cryptojacklint: %-17s %s\n", tm.Analyzer, tm.Elapsed.Round(10*time.Microsecond))
+		}
+		fmt.Fprintf(stderr, "cryptojacklint: %-17s %s\n", "total", elapsed.Round(10*time.Microsecond))
+	}
+
+	if *manifest != "" && ranAnalyzer(analyzers, statecheck.Analyzer) {
+		if err := os.WriteFile(*manifest, []byte(statecheck.LastManifest), 0o644); err != nil {
+			fmt.Fprintf(stderr, "cryptojacklint: writing state manifest: %v\n", err)
+			return 2
 		}
 	}
 	for _, f := range findings {
@@ -176,7 +216,21 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "cryptojacklint: %d finding(s)\n", len(findings))
 		return 1
 	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "cryptojacklint: run took %s, over the %s budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		return 1
+	}
 	return 0
+}
+
+func ranAnalyzer(analyzers []*analysis.Analyzer, a *analysis.Analyzer) bool {
+	for _, x := range analyzers {
+		if x == a {
+			return true
+		}
+	}
+	return false
 }
 
 // moduleRoot walks up from dir to the enclosing go.mod.

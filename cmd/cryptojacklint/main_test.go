@@ -48,7 +48,9 @@ func TestVictimFixture(t *testing.T) {
 }
 
 // TestAnnotatedTreeClean is the acceptance gate in test form: the whole
-// annotated module must lint clean with all eight analyzers.
+// annotated module must lint clean with all eleven analyzers, and the
+// state manifest statecheck derives from the walk must match the copy
+// committed at internal/machine/state_manifest.txt.
 func TestAnnotatedTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module lint is a few seconds; skipped in -short")
@@ -58,11 +60,23 @@ func TestAnnotatedTreeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(bin, "./...")
+	manifest := filepath.Join(t.TempDir(), "state_manifest.txt")
+	cmd := exec.Command(bin, "-state-manifest", manifest, "./...")
 	cmd.Dir = root
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("cryptojacklint ./... failed: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("reading generated manifest: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(root, "internal", "machine", "state_manifest.txt"))
+	if err != nil {
+		t.Fatalf("reading committed manifest: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("state manifest drifted from internal/machine/state_manifest.txt; regenerate it with\n\tgo run ./cmd/cryptojacklint -state-manifest internal/machine/state_manifest.txt ./...\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 
@@ -76,6 +90,7 @@ func TestListFlag(t *testing.T) {
 	for _, name := range []string{
 		"determinism", "lockcheck", "locksetflow", "lockorder",
 		"atomiccheck", "hotpath", "exhaustivedecode", "ctrange",
+		"hosttaint", "statecheck", "sharecheck",
 	} {
 		if !bytes.Contains(out, []byte(name)) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)

@@ -84,7 +84,10 @@ type journal struct {
 	n  uint64
 }
 
+//cryptojack:state
 var led ledger
+
+//cryptojack:state
 var jrn journal
 
 // Post seeds one leg of a lockorder cycle: ledger.mu → journal.mu...
@@ -143,4 +146,65 @@ func Throttle(samples []uint32) uint32 {
 //cryptojack:hotpath
 func growBlock(block []stage, s stage) []stage {
 	return append(block, s)
+}
+
+// Machine roots the statecheck walk and the sharecheck loop analysis
+// (the cmd test narrows -sim-pkgs to this package). The heat field seeds
+// a statecheck violation: it is reachable from machine state but carries
+// no classification.
+type Machine struct {
+	rig   *rig  // cryptojack:state
+	stamp int64 // cryptojack:state
+	heat  uint64
+}
+
+// rig is the mutable structure the sharecheck seed aliases fleet-wide.
+type rig struct {
+	temp uint64 // cryptojack:state
+}
+
+// sharedRig is the loop-invariant pointer every machine below receives.
+//
+//cryptojack:state
+var sharedRig = &rig{}
+
+// install stores the package-level rig into one machine.
+func install(m *Machine) {
+	m.rig = sharedRig
+}
+
+// Fleet seeds a sharecheck violation: every machine visited by the loop
+// ends up aliasing sharedRig, and victim.rig is not on the whitelist.
+func Fleet(ms []*Machine) {
+	for _, m := range ms {
+		install(m)
+	}
+}
+
+// clock launders the wall clock through a return value. The lexical
+// determinism finding here is suppressed so the interprocedural
+// hosttaint flow is reported once, at the store in Mark.
+func clock() int64 {
+	//lint:ignore determinism seeded hosttaint flow, reported at the store site instead
+	return time.Now().UnixNano()
+}
+
+// Mark seeds a hosttaint violation: the laundered clock value lands in
+// simulation state two calls away from the time.Now source.
+func Mark(m *Machine) {
+	m.stamp = clock()
+}
+
+// Settle seeds the suppression audit's unused leg: there is no hotpath
+// diagnostic on the return line, so the comment itself is the finding.
+func Settle() uint64 {
+	//lint:ignore hotpath nothing fires here; the audit must flag this comment
+	return 0
+}
+
+// Drain seeds the suppression audit's malformed leg: an analyzer list
+// with no justification.
+func Drain() uint64 {
+	//lint:ignore atomiccheck
+	return 0
 }

@@ -112,7 +112,6 @@ func run(args []string) error {
 	}
 	fmt.Printf("placed %d processes across %d tenants\n", tasks, len(tenantSet(*machines))+1)
 
-	//lint:ignore determinism load-generator wall-clock measurement, not simulation state
 	t0 := time.Now()
 	f.Run(*dur)
 	wall := time.Since(t0)

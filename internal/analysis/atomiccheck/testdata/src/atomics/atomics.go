@@ -10,9 +10,9 @@ type stats struct {
 	plain uint64
 }
 
-func (s *stats) IncHits()       { atomic.AddUint64(&s.hits, 1) }
-func (s *stats) Hits() uint64   { return atomic.LoadUint64(&s.hits) }
-func (s *stats) IncMixed()      { atomic.AddUint64(&s.mixed, 1) }
+func (s *stats) IncHits()        { atomic.AddUint64(&s.hits, 1) }
+func (s *stats) Hits() uint64    { return atomic.LoadUint64(&s.hits) }
+func (s *stats) IncMixed()       { atomic.AddUint64(&s.mixed, 1) }
 func (s *stats) PlainOk() uint64 { s.plain++; return s.plain } // ok: never atomic anywhere
 
 func (s *stats) MixedRead() uint64 {

@@ -1,0 +1,14 @@
+package hosttaint_test
+
+import (
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/hosttaint"
+)
+
+func TestHostTaint(t *testing.T) {
+	defer func(old []string) { hosttaint.Scope = old }(hosttaint.Scope)
+	hosttaint.Scope = []string{"taintflow"}
+	analysistest.Run(t, hosttaint.Analyzer, "testdata/src/taintflow")
+}

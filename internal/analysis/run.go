@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -111,6 +112,18 @@ func RunTimed(pkgs []*Package, analyzers []*Analyzer, dirs *Directives, filter f
 		}
 	}
 
+	SortFindings(findings)
+
+	timings := make([]Timing, 0, len(order))
+	for _, name := range order {
+		timings = append(timings, Timing{Analyzer: name, Elapsed: elapsed[name]})
+	}
+	return findings, timings, nil
+}
+
+// SortFindings orders findings by file, line, column, then analyzer —
+// the stable order every driver surface (CLI, goldens) relies on.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -122,12 +135,40 @@ func RunTimed(pkgs []*Package, analyzers []*Analyzer, dirs *Directives, filter f
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+}
 
-	timings := make([]Timing, 0, len(order))
-	for _, name := range order {
-		timings = append(timings, Timing{Analyzer: name, Elapsed: elapsed[name]})
+// SuppressionFindings audits the //lint:ignore comments collected from
+// the target packages, after a run has marked which ones suppressed a
+// diagnostic. Malformed comments (no analyzer list, or no justification
+// text — those never suppress anything) are always findings;
+// well-formed comments no diagnostic hit are findings only when
+// reportUnused is set, because unusedness is only meaningful when the
+// full analyzer set ran over the files that carry them. Findings are
+// attributed to the pseudo-analyzer "suppression" and are not
+// themselves suppressible.
+func SuppressionFindings(dirs *Directives, reportUnused bool) []Finding {
+	var out []Finding
+	for _, ig := range dirs.IgnoreComments() {
+		switch {
+		case ig.Malformed:
+			out = append(out, Finding{
+				Analyzer: "suppression",
+				Pos:      ig.Pos,
+				Message:  "malformed //lint:ignore: need analyzer names and a non-empty justification",
+			})
+		case reportUnused && !ig.Used:
+			out = append(out, Finding{
+				Analyzer: "suppression",
+				Pos:      ig.Pos,
+				Message:  fmt.Sprintf("unused //lint:ignore %s: no diagnostic here to suppress", strings.Join(ig.Names, ",")),
+			})
+		}
 	}
-	return findings, timings, nil
+	SortFindings(out)
+	return out
 }

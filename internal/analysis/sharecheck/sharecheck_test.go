@@ -1,0 +1,17 @@
+package sharecheck_test
+
+import (
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/sharecheck"
+)
+
+func TestShareCheck(t *testing.T) {
+	defer func(scope, wl []string) {
+		sharecheck.Scope, sharecheck.Whitelist = scope, wl
+	}(sharecheck.Scope, sharecheck.Whitelist)
+	sharecheck.Scope = []string{"sharedom"}
+	sharecheck.Whitelist = []string{"sharedom.Blessed"}
+	analysistest.Run(t, sharecheck.Analyzer, "testdata/src/sharedom")
+}

@@ -1,0 +1,263 @@
+// Package statecheck implements the mutable-state inventory analyzer:
+// every field transitively reachable from machine.Machine must carry a
+// cryptojack classification — state (snapshot surface), derived
+// (rebuildable cache), hostonly (obs/http/logging handles), or
+// immutable (write-once tables) — and every package-level var in a
+// simulation package must be classified too. Unclassified fields and
+// vars are diagnostics: they are exactly the state a future
+// snapshot/restore implementation would silently miss (ROADMAP,
+// DESIGN.md §5g).
+//
+// The walk starts at every struct type named "Machine" declared in a
+// scoped package and recurses through field types (pointers, slices,
+// arrays, maps, channels, generic type arguments) and into the scoped
+// concrete implementations of interface-typed fields. hostonly and
+// immutable fields prune recursion: what hangs off a host-side handle
+// or a write-once table is not snapshot surface.
+//
+// Each run renders the inventory as a deterministic manifest (one
+// sorted line per field and var) in LastManifest;
+// cryptojacklint -state-manifest writes it to
+// internal/machine/state_manifest.txt, where it is golden-tested and
+// uploaded as a CI artifact so snapshot-surface diffs are visible in
+// review.
+package statecheck
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+
+	"darkarts/internal/analysis"
+)
+
+// Scope is the list of simulation-package path substrings; set by
+// cmd/cryptojacklint from -sim-pkgs, narrowed by tests.
+var Scope = analysis.SimPackages
+
+// LastManifest is the deterministic state inventory rendered by the
+// most recent run (the driver is single-threaded).
+var LastManifest string
+
+// Analyzer is the statecheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "statecheck",
+	Doc:       "every field reachable from machine.Machine and every sim-package var must carry a cryptojack:state/derived/hostonly/immutable classification",
+	RunModule: run,
+}
+
+// qualifier renders package names short and stable for manifest lines.
+func qualifier(p *types.Package) string { return p.Name() }
+
+type walker struct {
+	mp     *analysis.ModulePass
+	scoped map[*types.Package]bool
+	// concrete lists every named non-interface type of the scoped
+	// packages, for interface-field expansion, in deterministic order.
+	concrete []*types.Named
+	visited  map[*types.Named]bool
+	seen     map[types.Object]bool
+	lines    map[string]bool
+}
+
+func run(mp *analysis.ModulePass) error {
+	w := &walker{
+		mp:      mp,
+		scoped:  map[*types.Package]bool{},
+		visited: map[*types.Named]bool{},
+		seen:    map[types.Object]bool{},
+		lines:   map[string]bool{},
+	}
+
+	var scopedPkgs []*analysis.Package
+	for _, pkg := range mp.Pkgs {
+		if analysis.InScope(Scope, pkg.PkgPath) {
+			w.scoped[pkg.Types] = true
+			scopedPkgs = append(scopedPkgs, pkg)
+		}
+	}
+
+	var roots []*types.Named
+	for _, pkg := range scopedPkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if !types.IsInterface(named) {
+				w.concrete = append(w.concrete, named)
+			}
+			if name == "Machine" {
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					roots = append(roots, named)
+				}
+			}
+		}
+	}
+
+	for _, root := range roots {
+		w.walkNamed(root)
+	}
+
+	for _, pkg := range scopedPkgs {
+		w.checkPackageVars(pkg)
+	}
+
+	LastManifest = w.render()
+	return nil
+}
+
+// walkNamed visits a named type reachable from a Machine root.
+func (w *walker) walkNamed(named *types.Named) {
+	if w.visited[named] {
+		return
+	}
+	w.visited[named] = true
+
+	// Generic instantiations: the type arguments are reachable.
+	if args := named.TypeArgs(); args != nil {
+		for i := 0; i < args.Len(); i++ {
+			w.walkType(args.At(i))
+		}
+	}
+
+	obj := named.Obj()
+	if obj.Pkg() == nil || !w.scoped[obj.Pkg()] {
+		return // stdlib / out-of-scope type: type args walked, fields not demanded
+	}
+
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			w.checkField(obj, u.Field(i))
+		}
+	case *types.Interface:
+		w.expandInterface(u)
+	default:
+		w.walkType(named.Underlying())
+	}
+}
+
+// checkField demands a classification for one reachable struct field,
+// records its manifest line, and recurses unless the class prunes.
+func (w *walker) checkField(owner types.Object, field *types.Var) {
+	if w.seen[field] {
+		return
+	}
+	w.seen[field] = true
+
+	class, ok := w.mp.Dirs.ClassOf(field)
+	if !ok {
+		class = "UNCLASSIFIED"
+		w.mp.Reportf(field.Pos(),
+			"field %s.%s.%s is reachable from machine state but lacks a cryptojack:state/derived/hostonly/immutable classification",
+			pkgName(owner), owner.Name(), field.Name())
+	}
+	w.lines[fmt.Sprintf("field %s.%s.%s\t%s\t%s",
+		pkgName(owner), owner.Name(), field.Name(), class,
+		types.TypeString(field.Type(), qualifier))] = true
+
+	if class == analysis.ClassHostonly || class == analysis.ClassImmutable {
+		return
+	}
+	w.walkType(field.Type())
+}
+
+// walkType recurses through the structure of t.
+func (w *walker) walkType(t types.Type) {
+	switch t := t.(type) {
+	case *types.Named:
+		w.walkNamed(t)
+		return
+	case *types.Pointer:
+		w.walkType(t.Elem())
+	case *types.Slice:
+		w.walkType(t.Elem())
+	case *types.Array:
+		w.walkType(t.Elem())
+	case *types.Map:
+		w.walkType(t.Key())
+		w.walkType(t.Elem())
+	case *types.Chan:
+		w.walkType(t.Elem())
+	case *types.Struct:
+		// Anonymous struct: its fields are reachable but have no named
+		// owner; demand classification against a synthetic owner name.
+		for i := 0; i < t.NumFields(); i++ {
+			w.walkType(t.Field(i).Type())
+		}
+	case *types.Interface:
+		w.expandInterface(t)
+	}
+}
+
+// expandInterface walks every scoped concrete type implementing iface:
+// whatever hides behind an interface-typed field is reachable state.
+func (w *walker) expandInterface(iface *types.Interface) {
+	if iface.NumMethods() == 0 {
+		return // interface{} would match everything
+	}
+	for _, named := range w.concrete {
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			w.walkNamed(named)
+		}
+	}
+}
+
+// checkPackageVars demands a classification for every package-level var
+// of a scoped package. Error sentinels (type error) are exempt by
+// convention; everything else is module-global mutable state that
+// escapes the per-machine snapshot surface and must be explicitly
+// hostonly, immutable, or acknowledged as state.
+func (w *walker) checkPackageVars(pkg *analysis.Package) {
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok {
+			continue
+		}
+		if types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+			continue
+		}
+		class, ok := w.mp.Dirs.ClassOf(v)
+		if !ok {
+			class = "UNCLASSIFIED"
+			w.mp.Reportf(v.Pos(),
+				"package-level var %s.%s in a simulation package lacks a cryptojack:state/derived/hostonly/immutable classification",
+				pkg.Types.Name(), v.Name())
+		}
+		w.lines[fmt.Sprintf("var %s.%s\t%s\t%s",
+			pkg.Types.Name(), v.Name(), class,
+			types.TypeString(v.Type(), qualifier))] = true
+	}
+}
+
+// render sorts the manifest lines under a fixed header.
+func (w *walker) render() string {
+	lines := make([]string, 0, len(w.lines))
+	for l := range w.lines {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString("# state manifest — generated by cryptojacklint -state-manifest (statecheck)\n")
+	b.WriteString("# <kind> <pkg.Type.field|pkg.var>\t<classification>\t<type>\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func pkgName(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Name()
+}

@@ -1,0 +1,60 @@
+package statecheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"darkarts/internal/analysis/analysistest"
+	"darkarts/internal/analysis/statecheck"
+)
+
+func TestStateCheck(t *testing.T) {
+	defer func(old []string) { statecheck.Scope = old }(statecheck.Scope)
+	statecheck.Scope = []string{"stateinv"}
+	analysistest.Run(t, statecheck.Analyzer, "testdata/src/stateinv")
+
+	manifest := statecheck.LastManifest
+	if manifest == "" {
+		t.Fatal("LastManifest not rendered")
+	}
+	for _, want := range []string{
+		"field stateinv.Machine.id\tstate\tint",
+		"field stateinv.Machine.scratch\tUNCLASSIFIED\t[]byte",
+		"field stateinv.BlockMap.blocks\tderived\tmap[uint64][]byte",
+		"field stateinv.Spin.tmp\tUNCLASSIFIED\tint",
+		"var stateinv.opTable\timmutable\tmap[string]int",
+		"var stateinv.generation\tUNCLASSIFIED\tuint64",
+	} {
+		if !strings.Contains(manifest, want+"\n") {
+			t.Errorf("manifest missing line %q\nmanifest:\n%s", want, manifest)
+		}
+	}
+	for _, absent := range []string{
+		"Obs.noSurface",        // pruned behind hostonly handle
+		"Idle.unreached",       // type not reachable from Machine
+		"var stateinv.ErrHalt", // error sentinels exempt
+	} {
+		if strings.Contains(manifest, absent) {
+			t.Errorf("manifest unexpectedly contains %q\nmanifest:\n%s", absent, manifest)
+		}
+	}
+}
+
+// TestManifestDeterministic re-runs the analyzer and demands a
+// byte-identical manifest: the file is golden-tested and diffed in CI,
+// so any map-order leak here would churn it.
+func TestManifestDeterministic(t *testing.T) {
+	defer func(old []string) { statecheck.Scope = old }(statecheck.Scope)
+	statecheck.Scope = []string{"stateinv"}
+
+	var renders []string
+	for i := 0; i < 3; i++ {
+		analysistest.Run(t, statecheck.Analyzer, "testdata/src/stateinv")
+		renders = append(renders, statecheck.LastManifest)
+	}
+	for i := 1; i < len(renders); i++ {
+		if renders[i] != renders[0] {
+			t.Fatalf("manifest differs between runs:\nrun 0:\n%s\nrun %d:\n%s", renders[0], i, renders[i])
+		}
+	}
+}

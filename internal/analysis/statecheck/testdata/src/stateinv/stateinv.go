@@ -1,0 +1,68 @@
+// Package stateinv exercises the statecheck analyzer: classification
+// coverage of everything reachable from Machine, type-level defaults,
+// hostonly pruning, interface expansion, and package-level vars.
+package stateinv
+
+import "sync"
+
+// Machine is the reachability root.
+type Machine struct {
+	id      int    // cryptojack:state
+	kern    *Kern  // cryptojack:state
+	scratch []byte // want `field stateinv\.Machine\.scratch is reachable from machine state but lacks a cryptojack`
+	obs     *Obs   // cryptojack:hostonly
+	work    Worker // cryptojack:state
+}
+
+// Kern mixes per-field classifications.
+type Kern struct {
+	mu    sync.Mutex // guarded by mu; cryptojack:state
+	now   uint64     // guarded by mu; cryptojack:state
+	cache *BlockMap  // cryptojack:derived
+	procs int        // want `field stateinv\.Kern\.procs is reachable from machine state but lacks a cryptojack`
+}
+
+// BlockMap is a rebuildable cache; the type-level default classifies
+// every field.
+//
+//cryptojack:derived
+type BlockMap struct {
+	blocks map[uint64][]byte
+	hits   uint64
+}
+
+// Obs is a host-side handle: unclassified fields behind it are pruned,
+// so noSurface needs no marker.
+type Obs struct {
+	noSurface []string
+}
+
+// Worker is an interface-typed part of the snapshot surface; scoped
+// implementations are expanded.
+type Worker interface {
+	Step() int
+}
+
+// Spin implements Worker.
+type Spin struct {
+	ticks uint64 // cryptojack:state
+	tmp   int    // want `field stateinv\.Spin\.tmp is reachable from machine state but lacks a cryptojack`
+}
+
+func (s *Spin) Step() int { return int(s.ticks) }
+
+// Idle does not implement Worker (value receiver set mismatch is fine —
+// it simply has no Step) and stays unvisited: its field needs no class.
+type Idle struct {
+	unreached int
+}
+
+// opTable is write-once.
+//
+//cryptojack:immutable
+var opTable = map[string]int{"add": 1}
+
+var generation uint64 // want `package-level var stateinv\.generation in a simulation package lacks a cryptojack`
+
+// ErrHalt is an error sentinel: exempt by convention.
+var ErrHalt error

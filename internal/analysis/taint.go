@@ -1,0 +1,1007 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the module-wide taint / provenance engine shared by the
+// hosttaint and sharecheck analyzers (DESIGN.md §5g). It computes, for
+// every function in the call graph, a summary of
+//
+//   - which host-nondeterminism sources and which parameter sub-paths
+//     each sub-path of the first result derives from, and
+//   - which parameter sub-paths are stored into classified simulation
+//     state fields (the "sink" set),
+//
+// by a flow-insensitive intraprocedural fixpoint per function (values
+// are tag sets attached to (object, field-path) pairs) composed over
+// the CallGraph until the summaries converge. Flow insensitivity keeps
+// the per-function abstraction one environment instead of one per CFG
+// node; the cost is that a variable overwritten after a tainted use
+// stays tainted, which only ever adds diagnostics, never hides one.
+
+// TagKind discriminates the provenance of a TaintTag.
+type TagKind uint8
+
+const (
+	// TagSource: the value derives from a host-nondeterminism source
+	// (time.Now, global math/rand, runtime.*, os.Getenv, map iteration
+	// order); Source describes it.
+	TagSource TagKind = iota
+	// TagParam: the value derives from sub-path Path of parameter Param
+	// of the enclosing function (receiver counts as parameter 0).
+	TagParam
+	// TagAlloc: the value was freshly allocated at Pos (composite
+	// literal, new, or an unresolved call returning a pointer-like).
+	TagAlloc
+	// TagGlobal: the value was read from the package-level var Obj.
+	TagGlobal
+)
+
+// TaintTag is one element of a value's provenance set.
+type TaintTag struct {
+	Kind   TagKind
+	Source string
+	Param  int
+	Path   string
+	Pos    token.Pos
+	Obj    types.Object
+}
+
+// TagSet is a set of provenance tags.
+type TagSet map[TaintTag]bool
+
+// valTags describes one value: tags per relative field path ("" is the
+// whole value, ".cpu.shared" a nested field). Paths are capped at
+// maxPathSegs segments; deeper structure collapses into its prefix.
+type valTags map[string]TagSet
+
+const maxPathSegs = 4
+
+// TaintSink records, in a function's summary, that sub-path Path of
+// parameter Param is stored into simulation-state field Field (or a
+// scoped package-level var). VType is the destination's static type,
+// which sharecheck matches against its sharing whitelist.
+type TaintSink struct {
+	// Param is the flowing parameter's index, or -1 for a flow out of
+	// the package-level var Global.
+	Param int
+	Path  string
+	Field types.Object
+	VType types.Type
+	// Global is set (with Param == -1) when the stored value was read
+	// from a package-level var rather than a parameter.
+	Global types.Object
+	// DestParam identifies whose memory the store mutates: the index of
+	// the parameter rooting the destination chain, -1 for a package-var
+	// destination, -2 when the root is function-local. sharecheck uses
+	// it to tell "one value into many machines" from "many values into
+	// one machine".
+	DestParam int
+}
+
+// TaintSummary is one function's interprocedural abstraction.
+type TaintSummary struct {
+	// Ret maps sub-paths of the first result to their tags.
+	Ret valTags
+	// Sinks is the set of parameter-to-state flows.
+	Sinks map[TaintSink]bool
+}
+
+// hostFlow is one host-taint diagnostic the extraction pass produced.
+type hostFlow struct {
+	pos     token.Pos
+	sources []string
+	dest    types.Object
+	via     *types.Func // non-nil when the store happens inside a callee
+}
+
+// Tainter runs the engine over one loaded module.
+type Tainter struct {
+	mp    *ModulePass
+	scope []string
+	fns   map[*types.Func]*taintFn
+	sums  map[*types.Func]*TaintSummary
+	// globals is the module-wide environment of package-level vars.
+	globals map[types.Object]valTags
+	flows   []hostFlow
+}
+
+// taintFn is the per-function analysis context, kept across fixpoint
+// rounds (environments only grow).
+type taintFn struct {
+	fn     *types.Func
+	pkg    *Package
+	params []*types.Var // receiver-first
+	env    map[types.Object]valTags
+	// events are the function's dataflow-relevant statements, collected
+	// once in source order.
+	assigns []assignEv
+	ranges  []rangeEv
+	rets    []retEv
+	calls   []callEv
+	// sorted holds roots passed to sort.*/slices.* anywhere in the
+	// function; reads through them drop map-iteration-order tags (the
+	// same cleansing heuristic the lexical determinism analyzer uses).
+	sorted map[types.Object]bool
+	// callees resolves call positions to their static targets.
+	callees map[token.Pos][]*types.Func
+	// memo caches eval results per expression node. It is cleared at the
+	// start of every propagate iteration; within one iteration stale
+	// (smaller) entries are sound because the solver only terminates
+	// after an iteration in which the environment did not change, and in
+	// that iteration every memoized result matches a fresh evaluation.
+	memo map[ast.Expr]valTags
+}
+
+type assignEv struct {
+	lhs ast.Expr
+	rhs ast.Expr
+	pos token.Pos
+}
+
+type rangeEv struct {
+	key, val types.Object
+	x        ast.Expr
+	isMap    bool
+}
+
+type retEv struct {
+	expr ast.Expr     // nil for bare returns
+	obj  types.Object // named first result for bare returns
+}
+
+type callEv struct {
+	call *ast.CallExpr
+}
+
+// tainterCache memoizes engines per (call graph, scope) so hosttaint and
+// sharecheck share one fixpoint; the driver is single-threaded.
+var tainterCache = map[string]*Tainter{}
+
+// TainterFor returns the solved taint engine for mp's module and scope,
+// building it on first use.
+func TainterFor(mp *ModulePass, scope []string) *Tainter {
+	key := fmt.Sprintf("%p|%s", mp.Graph, strings.Join(scope, ","))
+	if t, ok := tainterCache[key]; ok {
+		return t
+	}
+	t := newTainter(mp, scope)
+	t.solve()
+	tainterCache[key] = t
+	return t
+}
+
+func newTainter(mp *ModulePass, scope []string) *Tainter {
+	t := &Tainter{
+		mp:      mp,
+		scope:   scope,
+		fns:     map[*types.Func]*taintFn{},
+		sums:    map[*types.Func]*TaintSummary{},
+		globals: map[types.Object]valTags{},
+	}
+	for _, fn := range mp.Graph.Functions() {
+		decl := mp.Graph.Decl(fn)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		f := &taintFn{
+			fn:      fn,
+			pkg:     mp.Graph.PackageOf(fn),
+			env:     map[types.Object]valTags{},
+			sorted:  map[types.Object]bool{},
+			callees: map[token.Pos][]*types.Func{},
+		}
+		sig := fn.Type().(*types.Signature)
+		if r := sig.Recv(); r != nil {
+			f.params = append(f.params, r)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			f.params = append(f.params, sig.Params().At(i))
+		}
+		for i, p := range f.params {
+			f.mergeTags(p, "", TagSet{TaintTag{Kind: TagParam, Param: i}: true})
+		}
+		for _, site := range mp.Graph.CallsFrom(fn) {
+			f.callees[site.Pos] = append(f.callees[site.Pos], site.Callee)
+		}
+		f.collectEvents(decl)
+		t.fns[fn] = f
+		t.sums[fn] = &TaintSummary{Ret: valTags{}, Sinks: map[TaintSink]bool{}}
+	}
+	return t
+}
+
+// Summary returns fn's converged summary (nil for bodyless functions).
+func (t *Tainter) Summary(fn *types.Func) *TaintSummary { return t.sums[fn] }
+
+// EvalAt evaluates expression e (in fn's body) at relative path sub,
+// against fn's converged environment. Used by sharecheck to resolve the
+// provenance of constructor arguments at fleet-construction sites.
+func (t *Tainter) EvalAt(fn *types.Func, e ast.Expr, sub string) TagSet {
+	f := t.fns[fn]
+	if f == nil {
+		return nil
+	}
+	return readVT(t.eval(f, e), sub)
+}
+
+// collectEvents walks the function body once, recording assignments,
+// ranges, calls, sort-cleansed roots, and (outside function literals
+// only) return statements.
+func (f *taintFn) collectEvents(decl *ast.FuncDecl) {
+	var results []types.Object
+	if decl.Type.Results != nil && len(decl.Type.Results.List) > 0 {
+		for _, name := range decl.Type.Results.List[0].Names {
+			if obj := f.pkg.Info.Defs[name]; obj != nil {
+				results = append(results, obj)
+			}
+		}
+	}
+
+	litDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litDepth++
+			ast.Inspect(n.Body, walk)
+			litDepth--
+			return false
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// Tuple assignment: every lhs conservatively gets the
+				// call's result tags (only the first result is tracked
+				// path-sensitively, the rest flatten through readVT).
+				for _, lhs := range n.Lhs {
+					f.assigns = append(f.assigns, assignEv{lhs: lhs, rhs: n.Rhs[0], pos: n.Pos()})
+				}
+			} else {
+				for i := range n.Lhs {
+					if i < len(n.Rhs) {
+						f.assigns = append(f.assigns, assignEv{lhs: n.Lhs[i], rhs: n.Rhs[i], pos: n.Pos()})
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			ev := rangeEv{x: n.X}
+			if t := f.pkg.Info.Types[n.X].Type; t != nil {
+				_, ev.isMap = t.Underlying().(*types.Map)
+			}
+			if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+				ev.key = f.defOrUse(id)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+				ev.val = f.defOrUse(id)
+			}
+			f.ranges = append(f.ranges, ev)
+		case *ast.ReturnStmt:
+			if litDepth > 0 {
+				break
+			}
+			if len(n.Results) > 0 {
+				f.rets = append(f.rets, retEv{expr: n.Results[0]})
+			} else {
+				for _, obj := range results {
+					f.rets = append(f.rets, retEv{obj: obj})
+					break
+				}
+			}
+		case *ast.CallExpr:
+			f.calls = append(f.calls, callEv{call: n})
+			// Atomic method stores (x.field.Store(v)) are stores into
+			// x.field for both propagation and sink extraction.
+			if recv, val, ok := atomicStoreParts(f, n); ok {
+				f.assigns = append(f.assigns, assignEv{lhs: recv, rhs: val, pos: n.Pos()})
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if pkgName, ok := f.pkg.Info.Uses[rootIdentOf(sel.X)].(*types.PkgName); ok {
+					if p := pkgName.Imported().Path(); p == "sort" || p == "slices" {
+						for _, arg := range n.Args {
+							if root, _, ok := f.resolveChain(arg); ok {
+								f.sorted[root] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+}
+
+// atomicStoreParts recognizes sync/atomic method calls that store their
+// argument (Store, Swap, Add, Or, And, CompareAndSwap) and returns the
+// receiver chain and the stored value expression.
+func atomicStoreParts(f *taintFn, call *ast.CallExpr) (ast.Expr, ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	s, ok := f.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, nil, false
+	}
+	m, ok := s.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync/atomic" {
+		return nil, nil, false
+	}
+	switch m.Name() {
+	case "Store", "Swap", "Add", "Or", "And":
+		if len(call.Args) >= 1 {
+			return sel.X, call.Args[0], true
+		}
+	case "CompareAndSwap":
+		if len(call.Args) >= 2 {
+			return sel.X, call.Args[1], true
+		}
+	}
+	return nil, nil, false
+}
+
+func rootIdentOf(e ast.Expr) *ast.Ident {
+	id := RootIdent(e)
+	if id == nil {
+		return &ast.Ident{} // never in Uses
+	}
+	return id
+}
+
+func (f *taintFn) defOrUse(id *ast.Ident) types.Object {
+	if obj := f.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return f.pkg.Info.Uses[id]
+}
+
+// solve iterates all functions until no summary grows.
+func (t *Tainter) solve() {
+	fns := t.mp.Graph.Functions()
+	for round := 0; round < 12; round++ {
+		changed := false
+		for _, fn := range fns {
+			f := t.fns[fn]
+			if f == nil {
+				continue
+			}
+			t.propagate(f)
+			if t.summarize(f, nil) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final extraction pass: recompute sink applications with host-flow
+	// diagnostics recorded.
+	for _, fn := range fns {
+		if f := t.fns[fn]; f != nil {
+			t.summarize(f, &t.flows)
+		}
+	}
+}
+
+// propagate runs the intraprocedural fixpoint over f's events.
+func (t *Tainter) propagate(f *taintFn) {
+	for iter := 0; iter < 24; iter++ {
+		f.memo = make(map[ast.Expr]valTags)
+		changed := false
+		for _, ev := range f.ranges {
+			if t.applyRange(f, ev) {
+				changed = true
+			}
+		}
+		for _, ev := range f.assigns {
+			if t.applyAssign(f, ev) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// applyRange taints map-range key/value variables with iteration-order
+// provenance plus the container's content tags.
+func (t *Tainter) applyRange(f *taintFn, ev rangeEv) bool {
+	content := flatten(t.eval(f, ev.x))
+	if ev.isMap {
+		content = cloneSet(content)
+		content[TaintTag{Kind: TagSource, Source: "map iteration order"}] = true
+	}
+	changed := false
+	for _, obj := range []types.Object{ev.key, ev.val} {
+		if obj == nil {
+			continue
+		}
+		set := content
+		if !ev.isMap && obj == ev.key {
+			set = nil // slice index: clean
+		}
+		if len(set) > 0 && f.mergeTags(obj, "", set) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// applyAssign propagates one lhs ← rhs pair through the environment.
+func (t *Tainter) applyAssign(f *taintFn, ev assignEv) bool {
+	vt := t.eval(f, ev.rhs)
+	if len(vt) == 0 {
+		return false
+	}
+	lhs, mapStore := stripIndexing(f, ev.lhs)
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return false
+		}
+		obj := f.defOrUse(lhs)
+		if obj == nil {
+			return false
+		}
+		return t.store(f, obj, "", vt, mapStore)
+	default:
+		root, path, ok := f.resolveChain(lhs)
+		if !ok || root == nil {
+			return false
+		}
+		return t.store(f, root, path, vt, mapStore)
+	}
+}
+
+// store merges vt into (root, path), into the global environment when
+// root is a package-level var. Map stores drop iteration-order tags:
+// a map's content set is order-independent even when insertions happen
+// under a nondeterministic iteration.
+func (t *Tainter) store(f *taintFn, root types.Object, path string, vt valTags, mapStore bool) bool {
+	changed := false
+	for q, ts := range vt {
+		if mapStore {
+			ts = dropOrderTags(ts)
+			q = "" // element structure conflates with the container
+		}
+		if len(ts) == 0 {
+			continue
+		}
+		if isPackageVar(root) {
+			if mergeInto(t.globals, root, capPath(path+q), ts) {
+				changed = true
+			}
+		} else if f.mergeTags(root, capPath(path+q), ts) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// stripIndexing unwraps index/slice/star wrappers off a store target,
+// reporting whether the innermost indexing was into a map.
+func stripIndexing(f *taintFn, e ast.Expr) (ast.Expr, bool) {
+	mapStore := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if tv := f.pkg.Info.Types[x.X]; tv.Type != nil {
+				if _, ok := tv.Type.Underlying().(*types.Map); ok {
+					mapStore = true
+				}
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e, mapStore
+		}
+	}
+}
+
+// mergeTags merges ts into f's environment at (obj, path).
+func (f *taintFn) mergeTags(obj types.Object, path string, ts TagSet) bool {
+	return mergeInto(f.env, obj, path, ts)
+}
+
+func mergeInto(env map[types.Object]valTags, obj types.Object, path string, ts TagSet) bool {
+	vt := env[obj]
+	if vt == nil {
+		vt = valTags{}
+		env[obj] = vt
+	}
+	set := vt[path]
+	if set == nil {
+		set = TagSet{}
+		vt[path] = set
+	}
+	changed := false
+	for tag := range ts {
+		if !set[tag] {
+			set[tag] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// resolveChain resolves a pure ident/selector chain to its root object
+// and field path. Non-field selections (package qualifiers) shift the
+// root; method selections and impure bases fail.
+func (f *taintFn) resolveChain(e ast.Expr) (types.Object, string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := f.defOrUse(e)
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, "", true
+	case *ast.StarExpr:
+		return f.resolveChain(e.X)
+	case *ast.SelectorExpr:
+		if sel, ok := f.pkg.Info.Selections[e]; ok {
+			if sel.Kind() != types.FieldVal {
+				return nil, "", false
+			}
+			root, path, ok := f.resolveChain(e.X)
+			if !ok {
+				return nil, "", false
+			}
+			return root, capPath(path + "." + e.Sel.Name), true
+		}
+		// Qualified reference: pkg.Var.
+		if obj, ok := f.pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return obj, "", true
+		}
+		return nil, "", false
+	}
+	return nil, "", false
+}
+
+// capPath truncates a field path to maxPathSegs segments.
+func capPath(p string) string {
+	if p == "" {
+		return p
+	}
+	segs := strings.Split(p[1:], ".")
+	if len(segs) <= maxPathSegs {
+		return p
+	}
+	return "." + strings.Join(segs[:maxPathSegs], ".")
+}
+
+// readVT reads a value description at relative path p: tags at p and
+// its ancestors apply (param tags extend their path by the remainder);
+// tags at strict descendants are content of the read value and flatten
+// in.
+func readVT(vt valTags, p string) TagSet {
+	out := TagSet{}
+	for q, ts := range vt {
+		switch {
+		case q == p:
+			addAll(out, ts)
+		case strings.HasPrefix(p, q):
+			addAll(out, extendParams(ts, p[len(q):]))
+		case strings.HasPrefix(q, p):
+			addAll(out, ts)
+		}
+	}
+	return out
+}
+
+func addAll(dst, src TagSet) {
+	for tag := range src {
+		dst[tag] = true
+	}
+}
+
+func cloneSet(ts TagSet) TagSet {
+	out := TagSet{}
+	addAll(out, ts)
+	return out
+}
+
+// extendParams appends ext to the path of every param tag.
+func extendParams(ts TagSet, ext string) TagSet {
+	if ext == "" {
+		return ts
+	}
+	out := TagSet{}
+	for tag := range ts {
+		if tag.Kind == TagParam {
+			tag.Path = capPath(tag.Path + ext)
+		}
+		out[tag] = true
+	}
+	return out
+}
+
+func flatten(vt valTags) TagSet {
+	out := TagSet{}
+	for _, ts := range vt {
+		addAll(out, ts)
+	}
+	return out
+}
+
+func dropOrderTags(ts TagSet) TagSet {
+	out := TagSet{}
+	for tag := range ts {
+		if tag.Kind == TagSource && tag.Source == "map iteration order" {
+			continue
+		}
+		out[tag] = true
+	}
+	return out
+}
+
+func isPackageVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// eval computes the value description of expression e in f. Results are
+// memoized per propagate iteration and shared — callers must treat the
+// returned map as read-only.
+func (t *Tainter) eval(f *taintFn, e ast.Expr) valTags {
+	if vt, ok := f.memo[e]; ok {
+		return vt
+	}
+	vt := t.evalExpr(f, e)
+	if f.memo != nil {
+		f.memo[e] = vt
+	}
+	return vt
+}
+
+func (t *Tainter) evalExpr(f *taintFn, e ast.Expr) valTags {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+		if root, path, ok := f.resolveChain(e); ok && root != nil {
+			return t.readChain(f, root, path)
+		}
+		if se, ok := e.(*ast.SelectorExpr); ok {
+			// Field of an impure base (call result): evaluate the base
+			// and read the field path out of it.
+			if sel, ok := f.pkg.Info.Selections[se]; ok && sel.Kind() == types.FieldVal {
+				base := t.eval(f, se.X)
+				return valTags{"": readVT(base, "."+se.Sel.Name)}
+			}
+		}
+		if st, ok := e.(*ast.StarExpr); ok {
+			return t.eval(f, st.X)
+		}
+		return nil
+	case *ast.CallExpr:
+		return t.evalCall(f, e)
+	case *ast.CompositeLit:
+		return t.evalComposite(f, e)
+	case *ast.UnaryExpr:
+		return t.eval(f, e.X)
+	case *ast.BinaryExpr:
+		out := TagSet{}
+		addAll(out, flatten(t.eval(f, e.X)))
+		addAll(out, flatten(t.eval(f, e.Y)))
+		if len(out) == 0 {
+			return nil
+		}
+		return valTags{"": out}
+	case *ast.IndexExpr:
+		if tv, ok := f.pkg.Info.Types[e]; ok && tv.IsValue() {
+			if tvx, ok := f.pkg.Info.Types[e.X]; ok && tvx.IsValue() {
+				return t.eval(f, e.X)
+			}
+		}
+		// Generic instantiation: evaluate as the underlying function.
+		return nil
+	case *ast.SliceExpr:
+		return t.eval(f, e.X)
+	case *ast.TypeAssertExpr:
+		return t.eval(f, e.X)
+	}
+	return nil
+}
+
+// readChain reads (root, path) from the local environment plus, for
+// package vars, the module-global environment.
+func (t *Tainter) readChain(f *taintFn, root types.Object, path string) valTags {
+	out := valTags{}
+	collect := func(vt valTags) {
+		for q, ts := range vt {
+			switch {
+			case q == path:
+				mergeSet(out, "", ts)
+			case strings.HasPrefix(path, q):
+				mergeSet(out, "", extendParams(ts, path[len(q):]))
+			case strings.HasPrefix(q, path):
+				mergeSet(out, q[len(path):], ts)
+			}
+		}
+	}
+	if vt := f.env[root]; vt != nil {
+		collect(vt)
+	}
+	if isPackageVar(root) {
+		if vt := t.globals[root]; vt != nil {
+			collect(vt)
+		}
+		mergeSet(out, "", TagSet{TaintTag{Kind: TagGlobal, Obj: root}: true})
+	}
+	if f.sorted[root] {
+		for q, ts := range out {
+			out[q] = dropOrderTags(ts)
+		}
+	}
+	return out
+}
+
+func mergeSet(vt valTags, path string, ts TagSet) {
+	if len(ts) == 0 {
+		return
+	}
+	set := vt[path]
+	if set == nil {
+		set = TagSet{}
+		vt[path] = set
+	}
+	addAll(set, ts)
+}
+
+// evalComposite keeps struct-literal structure: keyed (and positional)
+// field values land on their field paths; slice/map elements conflate
+// with the container. The literal itself is a fresh allocation.
+func (t *Tainter) evalComposite(f *taintFn, lit *ast.CompositeLit) valTags {
+	out := valTags{"": TagSet{TaintTag{Kind: TagAlloc, Pos: lit.Pos()}: true}}
+	tv, ok := f.pkg.Info.Types[lit]
+	var st *types.Struct
+	if ok && tv.Type != nil {
+		st, _ = tv.Type.Underlying().(*types.Struct)
+		if ptr, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			st, _ = ptr.Elem().Underlying().(*types.Struct)
+		}
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			name := ""
+			if id, ok := kv.Key.(*ast.Ident); ok && st != nil {
+				name = id.Name
+			}
+			for q, ts := range t.eval(f, kv.Value) {
+				if name != "" {
+					mergeSet(out, capPath("."+name+q), ts)
+				} else {
+					mergeSet(out, "", ts)
+				}
+			}
+			continue
+		}
+		if st != nil && i < st.NumFields() {
+			for q, ts := range t.eval(f, elt) {
+				mergeSet(out, capPath("."+st.Field(i).Name()+q), ts)
+			}
+		} else {
+			mergeSet(out, "", flatten(t.eval(f, elt)))
+		}
+	}
+	return out
+}
+
+// evalCall computes the result description of a call: builtin
+// propagation, host-source introduction, summary substitution for
+// resolved module callees, conservative argument union otherwise.
+func (t *Tainter) evalCall(f *taintFn, call *ast.CallExpr) valTags {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation syntax.
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	} else if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+
+	// Conversion?
+	if tv, ok := f.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return t.eval(f, call.Args[0])
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := f.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				out := valTags{}
+				for _, arg := range call.Args {
+					for q, ts := range t.eval(f, arg) {
+						mergeSet(out, q, ts)
+					}
+				}
+				return out
+			case "len", "cap", "min", "max":
+				out := TagSet{}
+				for _, arg := range call.Args {
+					addAll(out, flatten(t.eval(f, arg)))
+				}
+				if len(out) == 0 {
+					return nil
+				}
+				return valTags{"": out}
+			case "new", "make":
+				return valTags{"": TagSet{TaintTag{Kind: TagAlloc, Pos: call.Pos()}: true}}
+			default:
+				return nil
+			}
+		}
+	}
+
+	// Host-nondeterminism sources. Checked before summary resolution:
+	// the call graph records qualified stdlib calls (time.Now) as sites
+	// too, but only module functions have summaries.
+	if desc, ok := hostSourceOf(f, fun); ok {
+		return valTags{"": TagSet{TaintTag{Kind: TagSource, Source: desc}: true}}
+	}
+	if callees := f.callees[call.Pos()]; len(callees) > 0 {
+		out := valTags{}
+		resolved := false
+		for _, callee := range callees {
+			if sum := t.sums[callee]; sum != nil {
+				t.substitute(f, call, callee, sum, out)
+				resolved = true
+			}
+		}
+		if resolved {
+			return out
+		}
+	}
+
+	// Unresolved (stdlib or func value): result derives from the
+	// arguments and receiver; sort/slices results are order-cleansed;
+	// pointer-like results count as fresh allocations.
+	out := TagSet{}
+	for _, arg := range call.Args {
+		addAll(out, flatten(t.eval(f, arg)))
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if _, isSel := f.pkg.Info.Selections[sel]; isSel {
+			addAll(out, flatten(t.eval(f, sel.X)))
+		}
+	}
+	if pkg := calleePackage(f, fun); pkg == "sort" || pkg == "slices" {
+		out = dropOrderTags(out)
+	}
+	if tv, ok := f.pkg.Info.Types[call]; ok && tv.Type != nil && isRefType(tv.Type) {
+		out[TaintTag{Kind: TagAlloc, Pos: call.Pos()}] = true
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return valTags{"": out}
+}
+
+// substitute composes callee's Ret summary into out, replacing param
+// tags with the tags of the corresponding argument sub-paths.
+func (t *Tainter) substitute(f *taintFn, call *ast.CallExpr, callee *types.Func, sum *TaintSummary, out valTags) {
+	for q, ts := range sum.Ret {
+		for tag := range ts {
+			if tag.Kind != TagParam {
+				if tag.Kind == TagAlloc {
+					// Localize: from the caller's view the allocation
+					// happens at this call, so loop-freshness checks
+					// (sharecheck) see a position in the caller's body.
+					tag.Pos = call.Pos()
+				}
+				mergeSet(out, q, TagSet{tag: true})
+				continue
+			}
+			for _, arg := range argExprs(f, call, callee, tag.Param) {
+				mergeSet(out, q, t.EvalAtLocal(f, arg, tag.Path))
+			}
+		}
+	}
+}
+
+// EvalAtLocal is EvalAt against an already-resolved context.
+func (t *Tainter) EvalAtLocal(f *taintFn, e ast.Expr, sub string) TagSet {
+	return readVT(t.eval(f, e), sub)
+}
+
+// argExprs maps callee parameter index i (receiver-first) to the
+// argument expressions at this call site; variadic tails return every
+// remaining argument.
+func argExprs(f *taintFn, call *ast.CallExpr, callee *types.Func, i int) []ast.Expr {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if sig.Recv() != nil {
+		if i == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if _, isSel := f.pkg.Info.Selections[sel]; isSel {
+					return []ast.Expr{sel.X}
+				}
+			}
+			return nil
+		}
+		i--
+	}
+	if sig.Variadic() && i >= sig.Params().Len()-1 {
+		if sig.Params().Len()-1 < len(call.Args) {
+			return call.Args[sig.Params().Len()-1:]
+		}
+		return nil
+	}
+	if i < len(call.Args) {
+		return []ast.Expr{call.Args[i]}
+	}
+	return nil
+}
+
+// hostSourceOf recognizes calls to host-nondeterminism sources.
+func hostSourceOf(f *taintFn, fun ast.Expr) (string, bool) {
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = f.pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if _, isSel := f.pkg.Info.Selections[fun]; isSel {
+			return "", false // method call: instance-scoped, not a global source
+		}
+		obj = f.pkg.Info.Uses[fun.Sel]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name(), true
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "Environ", "LookupEnv", "Hostname", "Getpid", "Getppid", "Getwd":
+			return "os." + fn.Name(), true
+		}
+	case "runtime":
+		return "runtime." + fn.Name(), true
+	case "math/rand", "math/rand/v2":
+		// Only the package-level draw functions ride the process-global
+		// (host-seeded) source. Constructors (New, NewSource, NewPCG,
+		// NewChaCha8, ...) build explicitly seeded generators whose
+		// output is a pure function of the caller's seed — deterministic.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return "", false
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			return fn.Pkg().Path() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func calleePackage(f *taintFn, fun ast.Expr) string {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if pkgName, ok := f.pkg.Info.Uses[rootIdentOf(sel.X)].(*types.PkgName); ok {
+		return pkgName.Imported().Path()
+	}
+	return ""
+}
+
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}

@@ -43,6 +43,8 @@ const maxCachedProgs = 32
 // histogram buckets reported in BBStats.LenCounts (the last bucket is
 // unbounded, covering 33..maxBlockLen). Exposed so the kernel's
 // observability layer registers its histogram with matching boundaries.
+//
+//cryptojack:immutable
 var BBLenBounds = []uint64{1, 2, 4, 8, 16, 32}
 
 // bbLenBuckets is len(BBLenBounds)+1: six bounded buckets plus overflow
@@ -53,6 +55,8 @@ const bbLenBuckets = 7
 // are written by the core's own execution goroutine; callers must observe
 // the scheduler's quantum barrier (as the kernel's merge phase does) before
 // reading them for another core.
+//
+//cryptojack:derived
 type BBStats struct {
 	// Hits and Misses count block lookups: a miss decodes and caches a new
 	// block, a hit reuses one.
@@ -69,12 +73,16 @@ type BBStats struct {
 }
 
 // opCount is one per-opcode histogram increment baked into a block.
+//
+//cryptojack:derived
 type opCount struct {
 	op isa.Op
 	n  uint64
 }
 
 // bbBlock is one decoded basic block with its pre-computed retire effects.
+//
+//cryptojack:derived
 type bbBlock struct {
 	// ops aliases Prog.Code[pc : pc+len] (programs are immutable once
 	// running, so no copy is needed).
@@ -97,6 +105,8 @@ type bbBlock struct {
 
 // blockCache is a core's private translation cache. All state is owned by
 // the core's execution goroutine; the kernel reads stats at quantum merge.
+//
+//cryptojack:derived
 type blockCache struct {
 	progs map[*isa.Program]*progBlocks
 	stats BBStats
@@ -113,6 +123,8 @@ type blockCache struct {
 // programs as they next run — a stale program is re-tagged in place
 // (pre-counts recomputed; decode and schedules are tag-independent) rather
 // than the whole cache being dropped.
+//
+//cryptojack:derived
 type progBlocks struct {
 	blocks []*bbBlock
 	traces []*trace

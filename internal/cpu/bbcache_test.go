@@ -140,7 +140,7 @@ func TestBlockCacheFaultIdentity(t *testing.T) {
 		// RET with a bogus saved address: the only branch Validate cannot
 		// range-check, so the PC bounds fault happens at run time.
 		b := isa.NewBuilder("retwild")
-		b.Movi(isa.R1, 1 << 20)
+		b.Movi(isa.R1, 1<<20)
 		b.Push(isa.R1)
 		b.Ret()
 		b.Halt()

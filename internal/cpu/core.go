@@ -40,6 +40,8 @@ const tlbMask = 1<<tlbBits - 1
 // the lifetime of the Memory (pages are never replaced until Reset).
 // hits/misses are plain per-core counters (one goroutine per core) read
 // by the kernel's observability layer at quantum merge.
+//
+//cryptojack:derived
 type memTLB struct {
 	tag    [1 << tlbBits]uint64 // page index + 1; 0 = empty
 	pg     [1 << tlbBits]*[mem.PageSize]byte
@@ -48,6 +50,12 @@ type memTLB struct {
 }
 
 // Core is one hardware context of the simulated processor.
+//
+// Classification (statecheck): architectural and timing state is the
+// snapshot surface; the translation/trace caches are rebuildable
+// (derived); the retirement observer is a host-side hook.
+//
+//cryptojack:state
 type Core struct {
 	id   int
 	cfg  Config
@@ -61,20 +69,20 @@ type Core struct {
 
 	ctx *ArchContext
 
-	observer RetireObserver
+	observer RetireObserver // cryptojack:hostonly -- host-side retirement hook
 
-	tlb memTLB
+	tlb memTLB // cryptojack:derived
 
 	// bb is the per-core basic-block translation cache (fast mode only;
 	// see bbcache.go). shared, when non-nil, is the fleet-scope decoded-
 	// block cache consulted on local misses (sharedbb.go).
-	bb     blockCache
-	shared *SharedBlocks
+	bb     blockCache    // cryptojack:derived
+	shared *SharedBlocks // cryptojack:derived -- fleet-scope decode cache, rebuildable
 
 	// eng is the superblock trace executor's state and trStats its
 	// counters (fast mode only; see trace.go).
-	eng     *traceEngine
-	trStats TraceStats
+	eng     *traceEngine // cryptojack:derived
+	trStats TraceStats   // cryptojack:derived
 
 	// Detailed-mode timing state (see timing.go).
 	tm timing

@@ -215,7 +215,7 @@ func TestDetailedCacheFootprintAffectsIPC(t *testing.T) {
 		return machine.Core(0).Counters().IPC()
 	}
 	smallIPC := ipc(build(16 << 10)) // fits in L1D
-	bigIPC := ipc(build(16 << 20))  // blows through L2
+	bigIPC := ipc(build(16 << 20))   // blows through L2
 	if bigIPC >= smallIPC {
 		t.Errorf("cache model inert: small-footprint IPC %.2f <= big-footprint IPC %.2f", smallIPC, bigIPC)
 	}

@@ -36,6 +36,8 @@ const maxSharedProgs = 256
 // sharedKey identifies one program image decoded under one tag-table
 // generation. A firmware update bumps the generation, naturally retiring
 // the old entries as programs are next decoded.
+//
+//cryptojack:derived
 type sharedKey struct {
 	prog *isa.Program
 	gen  uint64
@@ -43,6 +45,8 @@ type sharedKey struct {
 
 // sharedProg holds one program's published blocks, densely indexed by entry
 // pc (nil = not yet published).
+//
+//cryptojack:derived
 type sharedProg struct {
 	mu     sync.RWMutex
 	blocks []*bbBlock // guarded by mu
@@ -67,6 +71,11 @@ type SharedBlocksStats struct {
 // are safe for concurrent use from any number of cores; the zero value is
 // not usable — construct with NewSharedBlocks. A nil *SharedBlocks simply
 // disables sharing (each core decodes privately, the pre-fleet behaviour).
+//
+// Everything here is a rebuildable decode cache: losing it costs decode
+// work, never correctness (and never the RSX counter stream).
+//
+//cryptojack:derived
 type SharedBlocks struct {
 	mu    sync.RWMutex
 	progs map[sharedKey]*sharedProg // guarded by mu

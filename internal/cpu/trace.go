@@ -107,6 +107,8 @@ const (
 // tuop is one packed trace micro-op. The kind pre-resolves both the
 // operation and its flag behaviour, so the executor's switch is threaded
 // code: one dense jump-table dispatch per micro-op, no operand decode.
+//
+//cryptojack:derived
 type tuop struct {
 	kind uint8
 	rd   uint8
@@ -237,12 +239,16 @@ const (
 // guest-instructions-per-trace-dispatch histogram in TraceStats.LenCounts
 // (the last bucket is unbounded). Exposed for the kernel's observability
 // layer, mirroring BBLenBounds.
+//
+//cryptojack:immutable
 var TraceLenBounds = []uint64{64, 256, 1024, 4096}
 
 const traceLenBuckets = 5
 
 // TraceStats is a snapshot of one core's trace-engine counters, read under
 // the same quantum-barrier discipline as BBStats.
+//
+//cryptojack:derived
 type TraceStats struct {
 	// Hits counts completed trace passes (full superblock dispatches);
 	// Misses counts construction attempts (hot-threshold crossings that
@@ -265,6 +271,8 @@ func (c *Core) TraceCacheStats() TraceStats { return c.trStats }
 
 // undoEnt is one store-undo record; reversing the log restores memory to
 // its pass-entry image exactly.
+//
+//cryptojack:derived
 type undoEnt struct {
 	addr uint64
 	val  uint64
@@ -275,6 +283,11 @@ type undoEnt struct {
 // physical register file, a private 256-entry page-translation cache (so
 // speculative and NOP accesses never perturb the architectural TLB
 // counters), the store-undo log, and the pass-entry snapshot.
+//
+// Pass-scoped scratch: empty between passes, so losing it never loses
+// simulation state.
+//
+//cryptojack:derived
 type traceEngine struct {
 	r    [256]uint64
 	ltag [256]uint64 // page index + 1; 0 = empty
@@ -287,6 +300,8 @@ type traceEngine struct {
 }
 
 // trace is one compiled superblock.
+//
+//cryptojack:derived
 type trace struct {
 	entry    int
 	guestLen uint64

@@ -122,4 +122,3 @@ func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
 	}
 	return out
 }
-

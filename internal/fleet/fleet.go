@@ -21,7 +21,7 @@ type Config struct {
 	// across; each shard owns one persistent worker goroutine. 0 picks
 	// min(Machines, GOMAXPROCS). Shard count affects wall-clock speed
 	// only: the alert stream is bit-identical for every value.
-	Shards int
+	Shards int // cryptojack:hostonly -- worker-pool width, result-invariant
 	// Round is the simulated time every machine advances between barriers
 	// (default 1s). Alerts are batched per machine per round and flushed
 	// into the fleet stream at the barrier, so Round bounds both alert
@@ -102,6 +102,11 @@ type tenantKey struct {
 // shard is one worker of the per-shard pool, mirroring the kernel's
 // stealWorker: a persistent goroutine that advances its member range one
 // round per start signal.
+//
+// Pure host-side execution machinery (pool shape and wall-clock
+// accounting): the partition affects scheduling only, never results.
+//
+//cryptojack:hostonly
 type shard struct {
 	f       *Fleet
 	id      int
@@ -128,9 +133,9 @@ type shard struct {
 type Fleet struct {
 	cfg     Config
 	members []*Member
-	shards  []*shard
+	shards  []*shard // cryptojack:hostonly -- worker pool, result-invariant
 	shared  *cpu.SharedBlocks
-	om      *fmetrics
+	om      *fmetrics // cryptojack:hostonly
 
 	// mu guards the alert stream, tenancy tables, and placement state
 	// against concurrent API readers/writers.

@@ -2,6 +2,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -358,10 +359,17 @@ func assembleInst(b *Builder, line string) error {
 // Disassemble renders a program back to assembleable text. Branch targets
 // become synthetic labels (or original symbol names where known).
 func Disassemble(p *Program) string {
-	// Collect label positions: program symbols plus branch targets.
+	// Collect label positions: program symbols plus branch targets. Symbol
+	// names are applied in sorted order so that when several symbols share
+	// an instruction index the rendered label is the same on every run.
 	labels := map[int]string{}
-	for name, idx := range p.Symbols {
-		labels[idx] = name
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		labels[p.Symbols[name]] = name
 	}
 	next := 0
 	for _, in := range p.Code {

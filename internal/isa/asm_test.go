@@ -105,14 +105,14 @@ x:
 
 func TestAssembleErrors(t *testing.T) {
 	cases := map[string]string{
-		"unknown mnemonic": "FROB r1, r2, r3",
-		"bad register":     "MOV r1, r99",
+		"unknown mnemonic":  "FROB r1, r2, r3",
+		"bad register":      "MOV r1, r99",
 		"bad operand count": "ADD r1, r2",
-		"bad memory":       "LD r1, r2",
-		"undefined label":  "JMP nowhere",
-		"bad directive":    ".frobnicate 3",
-		"bad data":         ".data x",
-		"bad imm":          "MOVI r1, lots",
+		"bad memory":        "LD r1, r2",
+		"undefined label":   "JMP nowhere",
+		"bad directive":     ".frobnicate 3",
+		"bad data":          ".data x",
+		"bad imm":           "MOVI r1, lots",
 	}
 	for name, src := range cases {
 		if _, err := Assemble(src); err == nil {

@@ -166,9 +166,17 @@ func (b *Builder) Build() (*Program, error) {
 		code[idx].Imm = int64(target)
 	}
 
+	// Copy the label table in sorted order: the copy itself is
+	// order-insensitive, but keeping the sweep deterministic lets the
+	// determinism analyzer vouch for the whole build path.
 	symbols := make(map[string]int, len(b.labels))
-	for k, v := range b.labels {
-		symbols[k] = v
+	labelNames := make([]string, 0, len(b.labels))
+	for k := range b.labels {
+		labelNames = append(labelNames, k)
+	}
+	sort.Strings(labelNames)
+	for _, k := range labelNames {
+		symbols[k] = b.labels[k]
 	}
 	p := &Program{Name: b.name, Code: code, Symbols: symbols}
 	if err := p.Validate(); err != nil {

@@ -70,6 +70,8 @@ func (r Reg) String() string {
 //   - loads:  Rd = mem[Rs1 + Imm]
 //   - stores: mem[Rs1 + Imm] = Rs2
 //   - branches: Imm is the target instruction index
+//
+//cryptojack:immutable
 type Inst struct {
 	Op  Op
 	Rd  Reg
@@ -125,6 +127,12 @@ const InstBytes = 4
 
 // Program is an executable sequence of instructions plus metadata used by
 // loaders and by the static analyses in internal/trace.
+//
+// Programs are write-once: the assembler/builder fills them in and
+// nothing mutates them after a machine starts executing, which is what
+// lets cores, the shared block cache, and whole fleets alias one image.
+//
+//cryptojack:immutable
 type Program struct {
 	Name    string
 	Code    []Inst

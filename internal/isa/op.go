@@ -69,17 +69,17 @@ const (
 	TEST // TEST rs1, rs2       flags from rs1 & rs2
 
 	// Control flow. Branch targets are instruction indices (Imm).
-	JMP // JMP  target
-	JE  // JE   target          ZF == 1
-	JNE // JNE  target          ZF == 0
-	JL  // JL   target          signed less
-	JLE // JLE  target          signed less-or-equal
-	JG  // JG   target          signed greater
-	JGE // JGE  target          signed greater-or-equal
-	JB  // JB   target          unsigned below
-	JBE // JBE  target          unsigned below-or-equal
-	JA  // JA   target          unsigned above
-	JAE // JAE  target          unsigned above-or-equal
+	JMP  // JMP  target
+	JE   // JE   target          ZF == 1
+	JNE  // JNE  target          ZF == 0
+	JL   // JL   target          signed less
+	JLE  // JLE  target          signed less-or-equal
+	JG   // JG   target          signed greater
+	JGE  // JGE  target          signed greater-or-equal
+	JB   // JB   target          unsigned below
+	JBE  // JBE  target          unsigned below-or-equal
+	JA   // JA   target          unsigned above
+	JAE  // JAE  target          unsigned above-or-equal
 	CALL // CALL target         push return index, jump
 	RET  // RET                 pop return index, jump
 
@@ -94,6 +94,7 @@ const (
 // histogram consumers (internal/trace) can size dense arrays.
 const NumOps = int(numOps)
 
+//cryptojack:immutable
 var opNames = [numOps]string{
 	OpInvalid: "INVALID",
 	MOV:       "MOV", MOVI: "MOVI",
@@ -151,6 +152,7 @@ const (
 	ClassMulDiv                   // long-latency integer ops
 )
 
+//cryptojack:immutable
 var opClasses = [numOps]Class{
 	MOV: ClassMove, MOVI: ClassMove, LEA: ClassMove,
 	LD: ClassLoad, LD32: ClassLoad, LD16: ClassLoad, LD8: ClassLoad,

@@ -11,6 +11,8 @@ import (
 // "Observability"): host-time latencies span 1µs..100ms, per-quantum
 // instruction counts span idle..tens of millions, and window RSX counts
 // bracket the paper's 2.5e9/min threshold.
+//
+//cryptojack:immutable
 var (
 	obsNsBuckets     = []uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
 	obsInstBuckets   = []uint64{0, 10_000, 100_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000}
@@ -22,6 +24,12 @@ var (
 // handles are registered once at kernel construction, so the hot path
 // never touches the registry lock; when Config.Obs is nil the kernel's om
 // field is nil and every instrumentation site is one branch.
+//
+// Everything here is host-side telemetry (wall-clock timings, registry
+// handles, per-quantum scratch): none of it is snapshot surface and none
+// of it feeds simulation results.
+//
+//cryptojack:hostonly
 type kmetrics struct {
 	reg *obs.Registry
 

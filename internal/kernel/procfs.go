@@ -14,6 +14,8 @@ import (
 // exposes through procfs: "the monitoring period and threshold for a
 // process are dynamically programmable at runtime using kernel tunables
 // that can be updated using procfs" (Section IV-B).
+//
+//cryptojack:state
 type Tunables struct {
 	// ThresholdPerMin is the RSX-instructions-per-minute alert threshold
 	// (paper default: 2.5e9).
@@ -51,7 +53,7 @@ func (t Tunables) thresholdForPeriod() uint64 {
 // /proc/sys/. Paths are fixed: sys/rsx/{threshold_per_min,period_ms,
 // enabled,monitor_root}.
 type ProcFS struct {
-	k *Kernel
+	k *Kernel // cryptojack:derived -- stateless view, rebuilt by New
 }
 
 // procfs paths.

@@ -23,6 +23,8 @@ const (
 )
 
 // Alert is a cryptojacking detection event (Figure 3, step 4).
+//
+//cryptojack:state
 type Alert struct {
 	Time       time.Duration `json:"time"` // simulated time of the alert
 	Pid        int           `json:"pid"`
@@ -40,6 +42,8 @@ func (a Alert) String() string {
 }
 
 // Config configures the simulated kernel.
+//
+//cryptojack:state
 type Config struct {
 	// TimeSlice is the scheduler quantum (default 4ms, CFS-ish).
 	TimeSlice time.Duration
@@ -68,7 +72,7 @@ type Config struct {
 	// OBSERVABILITY.md for the catalogue). nil disables all
 	// instrumentation — every site degrades to a single branch.
 	// DefaultConfig attaches a fresh registry.
-	Obs *obs.Registry
+	Obs *obs.Registry // cryptojack:hostonly
 }
 
 // DefaultConfig returns a kernel configured like the paper's prototype,
@@ -84,6 +88,8 @@ func DefaultConfig() Config {
 }
 
 // placement is one planned time slice: task runs on core this quantum.
+//
+//cryptojack:derived
 type placement struct {
 	core int
 	task *Task
@@ -97,6 +103,13 @@ type placement struct {
 // reads) are safe to call concurrently with a running simulation: the
 // scheduler takes mu for the plan→execute→merge span of every quantum and
 // the accessors take the same lock.
+//
+// Classification (statecheck): the snapshot surface is the machine, task,
+// window, and virtual-clock state; quantum scratch and the deferred-merge
+// double buffer are reconstructible between quanta (derived); the
+// work-stealing pool and observability handles are host-side only.
+//
+//cryptojack:state
 type Kernel struct {
 	machine  *cpu.CPU
 	cfg      Config
@@ -109,43 +122,45 @@ type Kernel struct {
 	now      time.Duration // guarded by mu
 	coreLast []uint64      // last RSX counter reading per core
 
-	alerts  []Alert // guarded by mu
-	onAlert func(Alert)
-	procfs  *ProcFS
+	alerts  []Alert     // guarded by mu
+	onAlert func(Alert) // cryptojack:hostonly -- re-registered by the owner, not snapshotable
+	procfs  *ProcFS     // cryptojack:derived -- view over the kernel, rebuilt by New
 	// samples counts context-switch housekeeping invocations (for the
 	// overhead model).
 	samples uint64 // guarded by mu
 
 	// mu guards tasks, runq, alerts, samples, now, tunables, and all
 	// TgidRSX window state against the concurrent accessors above.
-	mu sync.Mutex
+	mu sync.Mutex // cryptojack:derived
 
 	// Quantum scratch state, reused to keep the scheduler allocation-free.
-	plan   []placement
-	deltas []uint64 // per-plan-entry RSX deltas measured during execution
+	plan   []placement // cryptojack:derived
+	deltas []uint64    // cryptojack:derived -- per-plan-entry RSX deltas measured during execution
 
 	// Deferred-merge double buffer: in parallel mode the accounting for
 	// quantum N (window checks, alerts, samples) runs overlapped with the
 	// execute phase of quantum N+1, so the previous quantum's plan, deltas
 	// and context-switch time are parked here until then. pendingMerge is
-	// cleared by the overlap step or by flushPending before Run returns.
-	prevPlan     []placement
-	prevDeltas   []uint64
-	prevSwitch   time.Duration
-	pendingMerge bool
+	// cleared by the overlap step or by flushPending before Run returns,
+	// so the buffer is empty at every snapshot boundary (derived).
+	prevPlan     []placement   // cryptojack:derived
+	prevDeltas   []uint64      // cryptojack:derived
+	prevSwitch   time.Duration // cryptojack:derived
+	pendingMerge bool          // cryptojack:derived
 
 	// Work-stealing execute phase: claim hands out core indices; thieves
 	// and the scheduler goroutine each take a core at a time and run its
 	// packed slices. workers is nil when serial; parallelRun marks an
-	// active pool for quantum().
-	claim       atomic.Int64
-	workers     []*stealWorker
-	workerWG    sync.WaitGroup
-	parallelRun bool
+	// active pool for quantum(). Host-side execution machinery: the pool
+	// shape never influences results (bit-identical to serial).
+	claim       atomic.Int64   // cryptojack:hostonly
+	workers     []*stealWorker // cryptojack:hostonly
+	workerWG    sync.WaitGroup // cryptojack:hostonly
+	parallelRun bool           // cryptojack:hostonly
 
 	// om holds the pre-resolved observability handles (nil when
 	// Config.Obs is nil; see obs.go).
-	om *kmetrics
+	om *kmetrics // cryptojack:hostonly
 }
 
 // New returns a kernel managing the given machine.

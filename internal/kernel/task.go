@@ -11,6 +11,8 @@ import (
 // every thread in a thread group so that mining work split across threads
 // still aggregates into a single count. The counters are atomic, mirroring
 // the kernel's refcount_t semantics.
+//
+//cryptojack:state
 type TgidRSX struct {
 	rsxCount atomic.Uint64 // cumulative RSX instructions across the group
 	tcount   atomic.Int64  // live threads referencing this structure
@@ -78,6 +80,8 @@ func shareOf(t *Task) float64 {
 // Task is the simulated task_struct. Threads created with CloneThread share
 // the parent's Tgid and RSX pointer (Listing 2); new processes get a fresh
 // thread group.
+//
+//cryptojack:state
 type Task struct {
 	Pid  int
 	Tgid int
@@ -107,11 +111,11 @@ func (t *Task) Exited() bool { return t.exited }
 
 // cloneArgs mirrors the relevant part of kernel_clone_args.
 type cloneArgs struct {
-	parent    *Task
-	sameTgid  bool
-	name      string
-	uid       int
-	workload  Workload
+	parent   *Task
+	sameTgid bool
+	name     string
+	uid      int
+	workload Workload
 }
 
 // doFork is the paper's _do_fork modification (Listing 2): if the new task

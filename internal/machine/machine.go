@@ -58,6 +58,8 @@ func DefaultOptions() Options {
 // A Machine must be driven (Run/RunUntilAlert) from one goroutine at a
 // time; the kernel's copy-on-read accessors (Alerts, Tasks, Now, procfs
 // reads) stay safe to call concurrently with a running simulation.
+//
+//cryptojack:state
 type Machine struct {
 	id   int
 	cpu  *cpu.CPU

@@ -130,7 +130,7 @@ func TestHierarchySameBlockDifferentWordsHit(t *testing.T) {
 func TestHierarchyCoherenceInvalidation(t *testing.T) {
 	h, _ := NewHierarchy(DefaultHierarchyConfig(), 2)
 	addr := uint64(0x9000)
-	h.LoadLatency(0, addr) // core 0 caches the line (Exclusive)
+	h.LoadLatency(0, addr)  // core 0 caches the line (Exclusive)
 	h.StoreLatency(1, addr) // core 1 writes: must invalidate core 0's copy
 	if s := h.Stats(); s.Invalidations == 0 {
 		t.Error("no invalidations recorded after remote store")

@@ -24,8 +24,10 @@ const pageSize = PageSize
 // kernel guarantees a task occupies at most one core per quantum and
 // tasks own disjoint regions, so concurrent cores never touch the same
 // addresses. Reset must not be called while cores are executing.
+//
+//cryptojack:state
 type Memory struct {
-	mu    sync.RWMutex
+	mu    sync.RWMutex               // cryptojack:derived
 	pages map[uint64]*[pageSize]byte // guarded by mu
 }
 
@@ -78,6 +80,7 @@ func (m *Memory) StoreByte(addr uint64, v byte) {
 
 // Read returns size bytes at addr as a little-endian unsigned integer.
 // size must be 1, 2, 4 or 8.
+//
 //cryptojack:coldpath
 func (m *Memory) Read(addr uint64, size int) uint64 {
 	// Fast path: access within a single page.
@@ -106,6 +109,7 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 }
 
 // Write stores size bytes of v at addr, little endian.
+//
 //cryptojack:coldpath
 func (m *Memory) Write(addr uint64, v uint64, size int) {
 	off := addr & (pageSize - 1)

@@ -11,7 +11,10 @@ import (
 
 // tableGen hands out the per-table generation numbers. A plain counter —
 // not host time, not randomness — so runs stay reproducible; uniqueness
-// is all consumers need.
+// is all consumers need. Generation values are cache-identity tags, not
+// snapshot surface (a restored run re-allocates them).
+//
+//cryptojack:hostonly
 var tableGen atomic.Uint64
 
 // TagTable is an immutable set of opcodes the decode stage tags. A nil
@@ -24,9 +27,9 @@ var tableGen atomic.Uint64
 // generation, so stale pre-counts are detected with one integer compare
 // instead of a table diff.
 type TagTable struct {
-	name string
-	gen  uint64
-	tags [isa.NumOps]bool
+	name string           // cryptojack:immutable
+	gen  uint64           // cryptojack:derived -- cache-identity tag, re-assigned on rebuild
+	tags [isa.NumOps]bool // cryptojack:immutable
 }
 
 // NewTagTable builds a table tagging all opcodes whose class intersects

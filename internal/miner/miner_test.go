@@ -42,7 +42,7 @@ func TestMerkleRootAndProofs(t *testing.T) {
 }
 
 func TestChainMineAppendVerify(t *testing.T) {
-	pow := SHA256d{} // fast baseline PoW for substrate tests
+	pow := SHA256d{}       // fast baseline PoW for substrate tests
 	const target = 1 << 56 // ~1/256 hashes succeed
 	c := NewChain(pow, target)
 
@@ -205,8 +205,8 @@ func TestCoinRatesMatchPaper(t *testing.T) {
 
 func TestEstimateProfitTableIV(t *testing.T) {
 	rows := []struct {
-		util       float64
-		xmr, usd   float64
+		util     float64
+		xmr, usd float64
 	}{
 		{1.00, 0.142, 32.78},
 		{0.75, 0.106, 24.58},

@@ -86,7 +86,7 @@ func (c *CryptoNightLite) HashHeader(header []byte) Hash {
 // leading zero bits — the k=1 generalized-birthday instance. Solutions are
 // (i, j) pairs; verification recomputes two hashes.
 type EquihashLite struct {
-	N int // number of candidate hashes per nonce
+	N int  // number of candidate hashes per nonce
 	D uint // required leading zero bits of the XOR
 }
 
