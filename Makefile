@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race lint bench bench-json bench-diff docs docscheck fleet-smoke clean
+.PHONY: all check vet build test race lint guestlint bench bench-json bench-diff docs docscheck fleet-smoke clean
 
 all: check race
 
-check: vet docscheck build test lint
+check: vet docscheck build test lint guestlint
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,16 @@ LINT_BUDGET ?= 10s
 lint:
 	$(GO) run ./cmd/cryptojacklint -time -budget $(LINT_BUDGET) \
 	  -state-manifest internal/machine/state_manifest.txt ./...
+
+# Guest static analysis gate: sweep the ISA program registry with the
+# gsa scoring pipeline, enforce the ranking contract (every miner flagged
+# and strictly above every benign program — zero inversions), and
+# regenerate the committed golden score manifest in place. The cmd test
+# fails if the manifest drifts from a fresh sweep, so retuning a scoring
+# weight is reviewed like any other golden change. See DESIGN.md §5h.
+guestlint:
+	$(GO) run ./cmd/guestlint -all \
+	  -manifest internal/workload/guestlint_manifest.txt
 
 build:
 	$(GO) build ./...

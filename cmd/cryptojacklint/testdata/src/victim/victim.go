@@ -208,3 +208,17 @@ func Drain() uint64 {
 	//lint:ignore atomiccheck
 	return 0
 }
+
+// RankLoops seeds the determinism violation guest static analysis is in
+// lint scope to catch: ranking loop scores by ranging over a map appends
+// in encounter order, so the profile's hot-loop list differs across runs.
+// (internal/gsa collects into a slice and sorts; this is the bug shape.)
+func RankLoops(scores map[int]float64) []int {
+	var ranked []int
+	for pc, s := range scores {
+		if s >= 1 {
+			ranked = append(ranked, pc)
+		}
+	}
+	return ranked
+}

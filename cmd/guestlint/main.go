@@ -1,0 +1,191 @@
+// Command guestlint is the guest-program static analyzer CLI: it runs
+// internal/gsa (CFG construction, natural-loop discovery, per-loop RSX
+// density and PoW-structure scoring) over assembled ISA programs and
+// reports each program's static profile — the same pre-screening the
+// fleet applies at workload admission. With -all it sweeps the workload
+// program registry and enforces the ranking contract that makes the
+// screen useful: every miner must be statically flagged and outscore
+// every benign program (zero inversions). `make guestlint` wires the
+// sweep into the tier-1 gate and regenerates the committed golden score
+// manifest (internal/workload/guestlint_manifest.txt) in place; the cmd
+// test fails if a committed manifest drifts from a fresh sweep, so any
+// retuning of the scoring model is reviewed like any other golden
+// change. See DESIGN.md §5h and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	guestlint prog.s [prog2.s ...]   # assemble + analyze source files
+//	guestlint -all                   # sweep the ISA program registry
+//	guestlint -all -json             # machine-readable profiles
+//	guestlint -all -manifest internal/workload/guestlint_manifest.txt
+//
+// Exit status is 1 when the -all ranking contract is violated (a benign
+// program scores at or above a miner, a miner is unflagged, or a benign
+// program is flagged), 2 on usage, read, or assembly errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"darkarts/internal/gsa"
+	"darkarts/internal/isa"
+	"darkarts/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is one analyzed program: the registry's ground-truth label (Miner
+// is false for file arguments) plus the full static profile.
+type report struct {
+	Name   string            `json:"name"`
+	Miner  bool              `json:"miner"`
+	Static gsa.StaticProfile `json:"static"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("guestlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	all := fs.Bool("all", false, "analyze every workload registry program and enforce the miner/benign ranking contract")
+	asJSON := fs.Bool("json", false, "emit reports as a JSON array instead of the table")
+	manifest := fs.String("manifest", "", "with -all: (re)write the golden score manifest to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !*all && fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "guestlint: nothing to analyze (pass .s files or -all)")
+		fs.Usage()
+		return 2
+	}
+	if *manifest != "" && !*all {
+		fmt.Fprintln(stderr, "guestlint: -manifest requires -all (the manifest pins the registry sweep)")
+		return 2
+	}
+
+	var reports []report
+	if *all {
+		for _, e := range workload.ProgramRegistry() {
+			reports = append(reports, report{Name: e.Name, Miner: e.Miner, Static: gsa.Analyze(e.Build())})
+		}
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "guestlint: %v\n", err)
+			return 2
+		}
+		prog, err := isa.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "guestlint: %s: %v\n", path, err)
+			return 2
+		}
+		// The assembler defaults the name to "asm" when the source has no
+		// .name directive; the file's base name is more useful here.
+		if prog.Name == "" || prog.Name == "asm" {
+			prog.Name = strings.TrimSuffix(filepath.Base(path), ".s")
+		}
+		reports = append(reports, report{Name: prog.Name, Static: gsa.Analyze(prog)})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(stderr, "guestlint: %v\n", err)
+			return 2
+		}
+	} else {
+		printTable(stdout, reports)
+	}
+
+	status := 0
+	if *all {
+		for _, line := range rankingViolations(reports) {
+			fmt.Fprintln(stderr, "guestlint:", line)
+			status = 1
+		}
+	}
+	if *manifest != "" {
+		if err := os.WriteFile(*manifest, []byte(manifestText(reports)), 0o644); err != nil {
+			fmt.Fprintf(stderr, "guestlint: %v\n", err)
+			return 2
+		}
+	}
+	return status
+}
+
+// printTable renders the human one-line-per-program view, hottest loop
+// inline.
+func printTable(w io.Writer, reports []report) {
+	fmt.Fprintf(w, "%-14s %6s %6s %6s %8s %8s %4s %7s  %s\n",
+		"PROGRAM", "INSTS", "FUNCS", "LOOPS", "DENSITY", "LOOPDEN", "POW", "RISK", "VERDICT")
+	for _, r := range reports {
+		verdict := "clean"
+		if r.Static.Flagged() {
+			verdict = "FLAGGED"
+		}
+		if r.Miner {
+			verdict += " (miner)"
+		}
+		fmt.Fprintf(w, "%-14s %6d %6d %6d %8.3f %8.3f %4d %7.3f  %s\n",
+			r.Name, r.Static.Insts, r.Static.Funcs, r.Static.Loops,
+			r.Static.RSXDensity, r.Static.LoopRSXDensity,
+			r.Static.PoWLoops, r.Static.RiskScore, verdict)
+	}
+}
+
+// rankingViolations enforces the registry contract: miners flagged, benign
+// clean, and every miner strictly above every benign program's risk score.
+func rankingViolations(reports []report) []string {
+	var out []string
+	for _, r := range reports {
+		if r.Miner && !r.Static.Flagged() {
+			out = append(out, fmt.Sprintf("miner %q not statically flagged (risk %.3f < %.1f)",
+				r.Name, r.Static.RiskScore, gsa.RiskFlagThreshold))
+		}
+		if !r.Miner && r.Static.Flagged() {
+			out = append(out, fmt.Sprintf("benign program %q statically flagged (risk %.3f)",
+				r.Name, r.Static.RiskScore))
+		}
+	}
+	for _, m := range reports {
+		if !m.Miner {
+			continue
+		}
+		for _, b := range reports {
+			if !b.Miner && b.Static.RiskScore >= m.Static.RiskScore {
+				out = append(out, fmt.Sprintf("ranking inversion: benign %q (%.3f) >= miner %q (%.3f)",
+					b.Name, b.Static.RiskScore, m.Name, m.Static.RiskScore))
+			}
+		}
+	}
+	return out
+}
+
+// manifestText renders the golden score manifest: one tab-separated line
+// per registry program pinning the scoring model's observable outputs.
+// Builds are deterministic, so any drift is a model or program change.
+func manifestText(reports []report) string {
+	var b strings.Builder
+	b.WriteString("# guestlint score manifest — generated by guestlint -all -manifest (make guestlint)\n")
+	b.WriteString("# <name>\t<kind>\trisk=<score>\tpow=<loops>\tloops=<n>\t<verdict>\n")
+	for _, r := range reports {
+		kind, verdict := "benign", "clean"
+		if r.Miner {
+			kind = "miner"
+		}
+		if r.Static.Flagged() {
+			verdict = "flagged"
+		}
+		fmt.Fprintf(&b, "%s\t%s\trisk=%.3f\tpow=%d\tloops=%d\t%s\n",
+			r.Name, kind, r.Static.RiskScore, r.Static.PoWLoops, r.Static.Loops, verdict)
+	}
+	return b.String()
+}

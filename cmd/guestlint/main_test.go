@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"darkarts/internal/gsa"
+)
+
+// TestManifestMatchesCommitted is the drift gate: a fresh registry sweep
+// must reproduce the committed golden score manifest byte for byte.
+// Retuning a gsa weight, changing a registry program, or adding one shows
+// up here; regenerate with `make guestlint` and review the diff.
+func TestManifestMatchesCommitted(t *testing.T) {
+	fresh := filepath.Join(t.TempDir(), "guestlint_manifest.txt")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-all", "-manifest", fresh}, &stdout, &stderr); code != 0 {
+		t.Fatalf("guestlint -all exit %d\n%s", code, stderr.String())
+	}
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "workload", "guestlint_manifest.txt"))
+	if err != nil {
+		t.Fatalf("reading committed manifest: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("score manifest drifted from internal/workload/guestlint_manifest.txt; regenerate with\n\tmake guestlint\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryRanking decodes the JSON sweep and re-checks the contract
+// end to end: miners flagged with at least one PoW loop, benign programs
+// clean, and every miner strictly above every benign score.
+func TestRegistryRanking(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-all", "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("guestlint -all -json exit %d\n%s", code, stderr.String())
+	}
+	var reports []report
+	if err := json.Unmarshal(stdout.Bytes(), &reports); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout.String())
+	}
+	if len(reports) < 6 {
+		t.Fatalf("only %d reports; registry sweep incomplete", len(reports))
+	}
+	minMiner, maxBenign := 0.0, 0.0
+	miners := 0
+	for _, r := range reports {
+		if r.Miner {
+			miners++
+			if !r.Static.Flagged() || r.Static.PoWLoops == 0 {
+				t.Errorf("miner %q: flagged=%v pow=%d", r.Name, r.Static.Flagged(), r.Static.PoWLoops)
+			}
+			if minMiner == 0 || r.Static.RiskScore < minMiner {
+				minMiner = r.Static.RiskScore
+			}
+		} else {
+			if r.Static.Flagged() {
+				t.Errorf("benign %q flagged: risk %.3f", r.Name, r.Static.RiskScore)
+			}
+			if r.Static.RiskScore > maxBenign {
+				maxBenign = r.Static.RiskScore
+			}
+		}
+	}
+	if miners < 2 {
+		t.Fatalf("registry has %d miners, want >= 2", miners)
+	}
+	if minMiner <= maxBenign {
+		t.Errorf("ranking inversion: min miner %.3f <= max benign %.3f", minMiner, maxBenign)
+	}
+}
+
+// TestAnalyzeSourceFile covers the .s path: assemble a small loop and
+// report its profile under the file's base name.
+func TestAnalyzeSourceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rotator.s")
+	src := `
+    MOVI r1, 0x1234
+loop:
+    ROLI r1, r1, 7
+    XORI r1, r1, 0x55
+    ADDI r2, r2, 1
+    CMPI r2, 100
+    JNE  loop
+    HALT
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "rotator") {
+		t.Errorf("output missing program name:\n%s", out)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Errorf("tiny rotate loop should be clean (threshold %.1f):\n%s", gsa.RiskFlagThreshold, out)
+	}
+}
+
+// TestUsageErrors pins the exit-2 surface: no inputs, and -manifest
+// without -all.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-manifest", "x"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-manifest without -all: exit %d, want 2", code)
+	}
+}

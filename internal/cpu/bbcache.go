@@ -129,6 +129,11 @@ type progBlocks struct {
 	blocks []*bbBlock
 	traces []*trace
 	gen    uint64
+	// seeded marks pcs the program's HotHints predict are hot loop heads
+	// (gsa.Annotate); blocks entered there use traceSeededHotThreshold
+	// instead of traceHotThreshold. Nil when the program carries no hints,
+	// so unannotated programs pay nothing on the hit path.
+	seeded []bool
 }
 
 // retag recomputes every cached pre-count of one program under a new tag
@@ -186,6 +191,14 @@ func (bc *blockCache) lookup(prog *isa.Program, gen uint64) *progBlocks {
 		bc.progs = make(map[*isa.Program]*progBlocks, 4)
 	}
 	pb := &progBlocks{blocks: make([]*bbBlock, len(prog.Code)), gen: gen}
+	if len(prog.HotHints) > 0 {
+		pb.seeded = make([]bool, len(prog.Code))
+		for _, pc := range prog.HotHints {
+			if pc >= 0 && pc < len(prog.Code) {
+				pb.seeded[pc] = true
+			}
+		}
+	}
 	bc.progs[prog] = pb
 	return pb
 }
@@ -302,13 +315,22 @@ func (c *Core) runFastBlocks(maxInsts uint64) uint64 {
 		} else {
 			c.bb.stats.Hits++
 			if traceOK && blk.heat != traceHeatBlacklist {
-				if blk.heat < traceHotThreshold {
+				// Statically-hinted loop heads (gsa.Annotate) use the lowered
+				// seeded threshold: the profile evidence is already in hand.
+				hot := uint16(traceHotThreshold)
+				if pb.seeded != nil && pb.seeded[pc] {
+					hot = traceSeededHotThreshold
+				}
+				if blk.heat < hot {
 					blk.heat++
 				}
-				if blk.heat >= traceHotThreshold && !built {
+				if blk.heat >= hot && !built {
 					built = true
 					blk.heat = traceHeatBlacklist
 					c.trStats.Misses++
+					if hot == traceSeededHotThreshold {
+						c.trStats.Seeded++
+					}
 					if tr := c.buildTrace(pc, tags); tr != nil {
 						pb.installTrace(pc, tr)
 						continue // dispatch through the new trace

@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"darkarts/internal/gsa"
+	"darkarts/internal/isa"
+)
+
+// Static trace seeding (Program.HotHints → traceSeededHotThreshold). The
+// contract: seeding only moves *when* a trace is built, never what it
+// computes — an annotated program must stay bit-identical to the reference
+// interpreter, and a hinted loop head must cross into trace execution in
+// fewer dispatches than the unhinted full threshold requires.
+
+// seededLoopProgram builds a fixed RSX-dense counted loop whose iteration
+// count sits strictly between the seeded and full hot thresholds, so the
+// loop head gets hot under gsa seeding but never without it. A data-checked
+// skip splits the body into short blocks (traces reject long-block paths).
+func seededLoopProgram(iters int64) *isa.Program {
+	b := isa.NewBuilder("seeded-loop")
+	b.Movi(isa.R0, iters)
+	for r := isa.R1; r <= isa.R8; r++ {
+		b.Movi(r, 0x243F6A8885A308D3+int64(r))
+	}
+	b.Label("loop")
+	// Eight independent per-register chains keep the trace scheduler's kind
+	// template busy (a single serial chain would NOP-fill past its
+	// dispatch-per-guest budget and reject the build).
+	for i := 0; i < 3; i++ {
+		for r := isa.R1; r <= isa.R8; r++ {
+			switch (int(r) + i) % 4 {
+			case 0:
+				b.OpI(isa.XORI, r, r, 0x5DEECE6)
+			case 1:
+				b.OpI(isa.ROLI, r, r, 13)
+			case 2:
+				b.OpI(isa.ADDI, r, r, 0x9E37)
+			default:
+				b.OpI(isa.RORI, r, r, 7)
+			}
+		}
+		b.OpI(isa.ANDI, isa.R9, isa.R0, 1)
+		b.Cmpi(isa.R9, 0)
+		b.Jcc(isa.JE, "even"+string(rune('a'+i)))
+		b.Op3(isa.ADD, isa.R2, isa.R2, isa.R1)
+		b.Label("even" + string(rune('a'+i)))
+	}
+	b.OpI(isa.SUBI, isa.R0, isa.R0, 1)
+	b.Cmpi(isa.R0, 0)
+	b.Jcc(isa.JNE, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	p.DataSize = 64
+	return p
+}
+
+// TestSeededTraceFormsEarlier is the seeding property itself: with an
+// iteration count between the two thresholds, the annotated program builds
+// (and runs through) a trace while the identical unannotated program never
+// attempts construction.
+func TestSeededTraceFormsEarlier(t *testing.T) {
+	iters := int64((traceSeededHotThreshold + traceHotThreshold) / 2)
+
+	plain := seededLoopProgram(iters)
+	_, cold := runTr(t, plain, false, false, 1<<30, nil)
+	if cold.Misses != 0 || cold.Seeded != 0 {
+		t.Fatalf("unannotated run attempted %d builds (%d seeded); loop never crosses traceHotThreshold=%d",
+			cold.Misses, cold.Seeded, traceHotThreshold)
+	}
+
+	annotated := seededLoopProgram(iters)
+	prof := gsa.Annotate(annotated)
+	if len(annotated.HotHints) == 0 {
+		t.Fatalf("gsa.Annotate found no loop heads (profile: %+v)", prof)
+	}
+	_, warm := runTr(t, annotated, false, false, 1<<30, nil)
+	if warm.Misses == 0 {
+		t.Fatal("annotated run never attempted a trace build")
+	}
+	if warm.Seeded == 0 {
+		t.Fatal("trace build was not attributed to a static seed")
+	}
+	if warm.Seeded > warm.Misses {
+		t.Fatalf("Seeded=%d exceeds Misses=%d", warm.Seeded, warm.Misses)
+	}
+	if warm.Hits == 0 {
+		t.Fatal("seeded trace was built but never dispatched")
+	}
+}
+
+// TestSeededTraceBitIdentical is the differential acceptance criterion:
+// gsa-annotated programs running with seeded trace formation are
+// bit-identical — registers, flags, PC, memory, RSX and histogram counters —
+// to the per-instruction reference loop, at whole-run and block-splitting
+// slice sizes.
+func TestSeededTraceBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		annotated := traceProgram(rand.New(rand.NewSource(seed)))
+		gsa.Annotate(annotated)
+		if len(annotated.HotHints) == 0 {
+			t.Fatalf("seed %d: no hints on a loop program", seed)
+		}
+		reference := traceProgram(rand.New(rand.NewSource(seed)))
+		for _, slice := range []uint64{1 << 30, 13} {
+			seeded, _ := runTr(t, annotated, false, false, slice, nil)
+			plain, _ := runTr(t, reference, true, true, slice, nil)
+			requireSameOutcome(t, "seeded trace vs reference", seeded, plain)
+		}
+	}
+
+	// The fixed seeded-loop fixture too, against both reference engines.
+	annotated := seededLoopProgram(2 * traceHotThreshold)
+	gsa.Annotate(annotated)
+	seeded, ts := runTr(t, annotated, false, false, 1<<30, nil)
+	if ts.Seeded == 0 {
+		t.Fatal("fixture never seeded a trace")
+	}
+	plain, _ := runTr(t, seededLoopProgram(2*traceHotThreshold), true, true, 1<<30, nil)
+	requireSameOutcome(t, "seeded fixture vs reference", seeded, plain)
+}

@@ -65,6 +65,13 @@ const (
 	// traceHotThreshold is the block dispatch count that triggers trace
 	// construction at that block's entry pc.
 	traceHotThreshold = 48
+	// traceSeededHotThreshold replaces traceHotThreshold at pcs listed in
+	// the program's HotHints (loop heads identified by static analysis,
+	// gsa.Annotate). A statically-predicted loop head skips most of the
+	// warm-up: the profile evidence the full threshold buys is already in
+	// hand before the first dispatch. Kept above 1 so a hint that turns out
+	// cold (a loop entered a handful of times) never pays construction.
+	traceSeededHotThreshold = 12
 	// traceHeatBlacklist marks a pc where construction failed or a trace
 	// was deoptimized; it is never retried.
 	traceHeatBlacklist = 0xFFFF
@@ -260,6 +267,10 @@ type TraceStats struct {
 	// a persistently high side-exit rate.
 	SideExits uint64
 	Deopts    uint64
+	// Seeded counts construction attempts triggered at a statically-hinted
+	// loop head (Program.HotHints) under the lowered seeded threshold; a
+	// subset of Misses.
+	Seeded uint64
 	// LenCounts histograms guest instructions retired per trace dispatch
 	// over the TraceLenBounds buckets; LenSum is their total.
 	LenCounts [traceLenBuckets]uint64

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"darkarts/internal/cpu"
+	"darkarts/internal/gsa"
 	"darkarts/internal/isa"
 	"darkarts/internal/kernel"
 	"darkarts/internal/machine"
@@ -48,7 +49,26 @@ type Config struct {
 	// (the pre-fleet behaviour). The zero value shares one process-wide
 	// cache across all member machines.
 	NoSharedBlocks bool
+	// StaticPolicy selects what fleet admission does with the guest
+	// static-analysis profile (internal/gsa) of submitted ISA programs:
+	// StaticAdmit reports it, StaticFlag (the default) additionally stamps
+	// the detection prior so flagged programs are confirmed on shortened
+	// monitoring windows, StaticReject refuses flagged programs outright.
+	StaticPolicy string
 }
+
+// Static admission policies (Config.StaticPolicy).
+const (
+	// StaticAdmit analyzes and reports, but changes nothing: no detection
+	// prior, no rejection.
+	StaticAdmit = "admit"
+	// StaticFlag analyzes, reports, and stamps the thread group's static
+	// prior — statically-flagged programs alert in Period/divisor windows.
+	StaticFlag = "flag"
+	// StaticReject refuses statically-flagged programs at submission time;
+	// admitted programs carry the prior as under StaticFlag.
+	StaticReject = "reject"
+)
 
 // DefaultConfig returns a fleet template: n machines, auto shards, 1s
 // rounds, fleet-scope block sharing, and a machine template with the
@@ -59,10 +79,11 @@ func DefaultConfig(n int) Config {
 	m.Kernel.Parallel = false
 	m.Kernel.Obs = nil
 	return Config{
-		Machines: n,
-		Round:    time.Second,
-		Machine:  m,
-		Obs:      obs.NewRegistry(),
+		Machines:     n,
+		Round:        time.Second,
+		Machine:      m,
+		Obs:          obs.NewRegistry(),
+		StaticPolicy: StaticFlag,
 	}
 }
 
@@ -151,6 +172,10 @@ type Fleet struct {
 
 	catalogOnce sync.Once
 	catalog     map[string]*isa.Program // immutable after catalogOnce
+	// catProfiles holds each catalog program's static-analysis profile,
+	// computed (and the image annotated with trace-seeding hints) before
+	// any machine loads it. Immutable after catalogOnce.
+	catProfiles map[string]gsa.StaticProfile
 
 	workerWG sync.WaitGroup
 	simTime  time.Duration
@@ -173,6 +198,13 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	if cfg.AlertRetention <= 0 {
 		cfg.AlertRetention = 65536
+	}
+	switch cfg.StaticPolicy {
+	case "":
+		cfg.StaticPolicy = StaticFlag
+	case StaticAdmit, StaticFlag, StaticReject:
+	default:
+		return nil, fmt.Errorf("fleet: unknown static policy %q", cfg.StaticPolicy)
 	}
 	f := &Fleet{
 		cfg:     cfg,

@@ -47,6 +47,10 @@ type fmetrics struct {
 	sharedEvict *obs.Counter
 	sharedLast  cpu.SharedBlocksStats
 
+	gsaAnalyzed *obs.Counter
+	gsaFlagged  *obs.Counter
+	gsaRejected *obs.Counter
+
 	apiErrors *obs.Counter
 	apiNs     *obs.Histogram
 }
@@ -84,6 +88,12 @@ func newFMetrics(reg *obs.Registry, shards int) *fmetrics {
 			Unit: "blocks", Help: "locally decoded blocks published into the shared cache"}),
 		sharedEvict: reg.Counter(obs.Desc{Name: "fleet_bbcache_shared_evictions_total", Layer: obs.LayerFleet,
 			Unit: "evictions", Help: "whole shared-cache drops at the capacity bound"}),
+		gsaAnalyzed: reg.Counter(obs.Desc{Name: "gsa_analyzed_total", Layer: obs.LayerFleet,
+			Unit: "programs", Help: "program submissions screened by guest static analysis at admission"}),
+		gsaFlagged: reg.Counter(obs.Desc{Name: "gsa_flagged_total", Layer: obs.LayerFleet,
+			Unit: "programs", Help: "screened submissions whose static risk crossed the flag threshold"}),
+		gsaRejected: reg.Counter(obs.Desc{Name: "gsa_rejected_total", Layer: obs.LayerFleet,
+			Unit: "programs", Help: "flagged submissions refused under the reject admission policy"}),
 		apiErrors: reg.Counter(obs.Desc{Name: "fleet_api_errors_total", Layer: obs.LayerFleet,
 			Unit: "requests", Help: "fleet API requests answered with a 4xx/5xx status"}),
 		apiNs: reg.Histogram(obs.Desc{Name: "fleet_api_request_ns", Layer: obs.LayerFleet,

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"darkarts/internal/cryptoalg"
+	"darkarts/internal/gsa"
 	"darkarts/internal/isa"
 	"darkarts/internal/miner"
 	"darkarts/internal/workload"
@@ -43,7 +44,8 @@ type WorkloadSpec struct {
 	Threads int `json:"threads,omitempty"`
 
 	// Program is a fleet catalog entry (kind "program"): "sha256",
-	// "keccak", "aes", or "blake2b".
+	// "keccak", "aes", "blake2b", or — for detection experiments — the
+	// real ISA miners "xmr-isa" and "zec-isa".
 	Program string `json:"program,omitempty"`
 	// IPS is the program's effective instruction rate (kind "program",
 	// default 200000 — cheap to simulate, enough to exercise the decoder).
@@ -62,6 +64,11 @@ type Placement struct {
 	// Deferred is true when the fleet was mid-round and the spawn happens
 	// at the next round barrier (Tgids unknown until then).
 	Deferred bool `json:"deferred,omitempty"`
+	// Static is the guest static-analysis profile of a program submission
+	// (nil for app/miner rate models, which have no ISA image to analyze).
+	// What the fleet does with it is Config.StaticPolicy; the profile is
+	// reported under every policy.
+	Static *gsa.StaticProfile `json:"static,omitempty"`
 }
 
 // boundSpec is a submission bound to its placement decision, queued for
@@ -87,7 +94,9 @@ func (f *Fleet) Catalog() []string {
 
 // ensureCatalog builds the shared program images once; concurrent callers
 // (API handlers, Submit) synchronize on the Once and the map is immutable
-// afterwards.
+// afterwards. Every image is statically analyzed (and annotated with
+// trace-seeding hot-loop hints) here, before any machine can load it — the
+// write-once window the annotation contract requires.
 func (f *Fleet) ensureCatalog() {
 	f.catalogOnce.Do(func() {
 		sha, _ := cryptoalg.BuildSHA256Program(4)
@@ -99,8 +108,26 @@ func (f *Fleet) ensureCatalog() {
 			"keccak":  kec,
 			"aes":     aes,
 			"blake2b": bla,
+			"xmr-isa": workload.XMRMinerProgram(),
+			"zec-isa": workload.ZecMinerProgram(),
+		}
+		names := make([]string, 0, len(f.catalog))
+		for n := range f.catalog {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		f.catProfiles = make(map[string]gsa.StaticProfile, len(f.catalog))
+		for _, n := range names {
+			f.catProfiles[n] = gsa.Annotate(f.catalog[n])
 		}
 	})
+}
+
+// staticProfile returns the catalog program's static profile (catalog must
+// already be ensured).
+func (f *Fleet) staticProfile(name string) (gsa.StaticProfile, bool) {
+	p, ok := f.catProfiles[name]
+	return p, ok
 }
 
 // Submit validates spec, picks a member (least workloads placed, ties to
@@ -116,6 +143,29 @@ func (f *Fleet) Submit(spec WorkloadSpec) (Placement, error) {
 	if err := f.validate(spec); err != nil {
 		return Placement{}, err
 	}
+	// Static admission: program submissions carry their catalog image's
+	// analysis profile; the reject policy refuses flagged programs before
+	// any placement state changes.
+	var static *gsa.StaticProfile
+	if spec.Kind == KindProgram {
+		prof, ok := f.staticProfile(spec.Program)
+		if ok {
+			static = &prof
+			if f.om != nil {
+				f.om.gsaAnalyzed.Inc()
+				if prof.Flagged() {
+					f.om.gsaFlagged.Inc()
+				}
+			}
+			if f.cfg.StaticPolicy == StaticReject && prof.Flagged() {
+				if f.om != nil {
+					f.om.gsaRejected.Inc()
+				}
+				return Placement{}, fmt.Errorf("fleet: program %q statically flagged (risk %.2f, %d PoW loops): rejected by policy",
+					spec.Program, prof.RiskScore, prof.PoWLoops)
+			}
+		}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	mem, err := f.pickLocked(spec)
@@ -129,7 +179,7 @@ func (f *Fleet) Submit(spec WorkloadSpec) (Placement, error) {
 		f.om.submissions.Inc()
 		f.om.tenants.Set(int64(len(f.tenants)))
 	}
-	pl := Placement{Machine: mem.ID, Shard: mem.Shard}
+	pl := Placement{Machine: mem.ID, Shard: mem.Shard, Static: static}
 	if f.running {
 		f.pendingSub = append(f.pendingSub, boundSpec{spec: spec, member: mem})
 		pl.Deferred = true
@@ -227,6 +277,13 @@ func (f *Fleet) applyLocked(spec WorkloadSpec, mem *Member) ([]int, error) {
 		t, err := mem.M.SpawnProgram(spec.Program, f.catalog[spec.Program], ips, true)
 		if err != nil {
 			return nil, err
+		}
+		// Under flag/reject the thread group carries the static prior, so
+		// the member kernel confirms flagged programs on shortened windows.
+		if f.cfg.StaticPolicy != StaticAdmit {
+			if prof, ok := f.staticProfile(spec.Program); ok {
+				t.RSX().SetStaticPrior(prof.RiskScore, prof.Flagged())
+			}
 		}
 		tgids = append(tgids, t.Tgid)
 	}

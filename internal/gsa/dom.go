@@ -1,0 +1,84 @@
+package gsa
+
+// Dominator tree: the iterative Cooper–Harvey–Kennedy algorithm over a
+// reverse postorder of the CFG. Guest functions are small (tens to a few
+// thousand blocks), so the simple O(N·E) fixpoint converges in two or
+// three sweeps and needs no link-eval machinery.
+
+// reversePostorder returns the block indices reachable from the entry in
+// reverse postorder of a depth-first walk.
+func (f *Func) reversePostorder() []int {
+	seen := make([]bool, len(f.Blocks))
+	post := make([]int, 0, len(f.Blocks))
+	var walk func(int)
+	walk = func(b int) {
+		seen[b] = true
+		for _, s := range f.Blocks[b].Succs {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(f.entryBlock)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+func (f *Func) computeDoms() {
+	rpo := f.reversePostorder()
+	rpoNum := make([]int, len(f.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	idom := make([]int, len(f.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[f.entryBlock] = f.entryBlock
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == f.entryBlock {
+				continue
+			}
+			newIdom := -1
+			for _, p := range f.Blocks[b].Preds {
+				if idom[p] == -1 || rpoNum[p] == -1 {
+					continue // pred not yet processed, or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom, idom, rpoNum)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	f.idom = idom
+}
+
+// intersect walks two blocks up the (partially built) dominator tree to
+// their common ancestor, comparing by reverse-postorder number.
+func intersect(a, b int, idom, rpoNum []int) int {
+	for a != b {
+		for rpoNum[a] > rpoNum[b] {
+			a = idom[a]
+		}
+		for rpoNum[b] > rpoNum[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}

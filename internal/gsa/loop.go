@@ -1,0 +1,227 @@
+package gsa
+
+import (
+	"sort"
+
+	"darkarts/internal/isa"
+)
+
+// Loop is one natural loop: the union of all back edges sharing a head.
+// The static mass and signature fields are filled in by scoring (score.go).
+type Loop struct {
+	HeadPC int   // start pc of the head block
+	Head   int   // head block index within the Func
+	Blocks []int // body block indices (including the head), ascending
+	Depth  int   // nesting depth; 1 = outermost
+
+	// Static mass: Insts/RSX over the body's own instructions;
+	// TotalInsts/TotalRSX additionally fold in the transitive mass of every
+	// callee invoked from the body (one share per call site).
+	Insts, RSX           int
+	TotalInsts, TotalRSX int
+	Calls                int
+
+	// Crypto-idiom signature counts over the body plus its callees.
+	Chains      int // XOR/rotate mixing chains
+	SBoxLoads   int // sub-word indexed loads (LD8/LD16/LD32)
+	RoundConsts int // wide ALU immediates (round constants in code)
+
+	// Proof-of-work structure: an unsigned ordered-compare branch exiting
+	// the loop (the target check) plus an in-memory counter cell update
+	// (the nonce), over a substantial crypto body.
+	PoW bool
+
+	// TripBound is the derived iteration bound, 0 when unknown. Benign
+	// kernels iterate a constant round/block count; a mining search loop's
+	// bound is data-dependent and stays 0.
+	TripBound int
+
+	Density float64 // TotalRSX / TotalInsts
+	Score   float64
+}
+
+// findLoops detects natural loops from back edges (an edge u→h where h
+// dominates u), merging loops that share a head, assigns nesting depths by
+// body containment, and derives trip bounds (code is the program image the
+// blocks index into).
+func (f *Func) findLoops(code []isa.Inst) {
+	byHead := make(map[int]map[int]bool)
+	for b := range f.Blocks {
+		for _, s := range f.Blocks[b].Succs {
+			if !f.Dominates(s, b) {
+				continue
+			}
+			body := byHead[s]
+			if body == nil {
+				body = map[int]bool{s: true}
+				byHead[s] = body
+			}
+			// Flood backwards from the back-edge source until the head.
+			stack := []int{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				stack = append(stack, f.Blocks[x].Preds...)
+			}
+		}
+	}
+
+	heads := make([]int, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Ints(heads)
+	for _, h := range heads {
+		body := byHead[h]
+		blocks := make([]int, 0, len(body))
+		for b := range body {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		f.Loops = append(f.Loops, &Loop{
+			HeadPC: f.Blocks[h].Start,
+			Head:   h,
+			Blocks: blocks,
+		})
+	}
+
+	for _, l := range f.Loops {
+		l.TripBound = f.deriveTripBound(l, code)
+	}
+
+	// Depth of a loop = how many loop bodies contain its head (its own
+	// included): an inner loop's head sits inside every enclosing body.
+	for _, l := range f.Loops {
+		for _, m := range f.Loops {
+			has := false
+			for _, b := range m.Blocks {
+				if b == l.Head {
+					has = true
+					break
+				}
+			}
+			if has {
+				l.Depth++
+			}
+		}
+	}
+}
+
+// contains reports whether block b is in the loop body.
+func (l *Loop) contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// deriveTripBound recognises the counted-loop shape the program builders
+// emit and returns its iteration bound, or 0 when no bound is derivable:
+//
+//	preheader:  MOVI r, init
+//	body:       ADDI r, r, c   (or SUBI r, r, c)
+//	exit test:  CMPI r, K ; Jcc  with one successor outside the loop
+//
+// A JNE back edge (or JE exit) runs while r != K, so the bound is exact
+// division; ordered exits (JL/JB/JGE/JAE families) bound by rounding up.
+// Loops whose counter lives in memory — a mining search over a budget cell
+// — derive nothing, which is itself a signal.
+func (f *Func) deriveTripBound(l *Loop, code []isa.Inst) int {
+	// Find the exit test: a body block ending CMPI r, K ; Jcc with an exit.
+	var ctr isa.Reg
+	var limit int64
+	var exitOp isa.Op
+	found := false
+	for _, b := range l.Blocks {
+		blk := f.Blocks[b]
+		if blk.Len() < 2 {
+			continue
+		}
+		last, prev := code[blk.End-1], code[blk.End-2]
+		if !last.Op.IsCondBranch() || prev.Op != isa.CMPI {
+			continue
+		}
+		exits := false
+		for _, s := range blk.Succs {
+			if !l.contains(s) {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		ctr, limit, exitOp, found = prev.Rs1, prev.Imm, last.Op, true
+		break
+	}
+	if !found {
+		return 0
+	}
+
+	// Find the counter update inside the body: ADDI/SUBI ctr, ctr, c.
+	var step int64
+	var up bool
+	for _, b := range l.Blocks {
+		blk := f.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := code[pc]
+			if (in.Op == isa.ADDI || in.Op == isa.SUBI) && in.Rd == ctr && in.Rs1 == ctr && in.Imm > 0 {
+				step, up = in.Imm, in.Op == isa.ADDI
+			}
+		}
+	}
+	if step == 0 {
+		return 0
+	}
+
+	// Find the init in the preheader: the unique predecessor of the head
+	// outside the loop, scanned backwards for MOVI ctr, init.
+	pre := -1
+	for _, p := range f.Blocks[l.Head].Preds {
+		if l.contains(p) {
+			continue
+		}
+		if pre != -1 {
+			return 0 // multiple preheaders: init ambiguous
+		}
+		pre = p
+	}
+	if pre == -1 {
+		return 0
+	}
+	init, haveInit := int64(0), false
+	blk := f.Blocks[pre]
+	for pc := blk.End - 1; pc >= blk.Start; pc-- {
+		in := code[pc]
+		if in.Rd != ctr {
+			continue
+		}
+		if in.Op == isa.MOVI {
+			init, haveInit = in.Imm, true
+		}
+		break // any other write to ctr makes the init unknown
+	}
+	if !haveInit {
+		return 0
+	}
+
+	span := limit - init
+	if !up {
+		span = init - limit
+	}
+	if span <= 0 {
+		return 0
+	}
+	switch exitOp {
+	case isa.JNE, isa.JE:
+		if span%step != 0 {
+			return 0 // an equality exit that never hits its limit
+		}
+		return int(span / step)
+	case isa.JL, isa.JLE, isa.JG, isa.JGE, isa.JB, isa.JBE, isa.JA, isa.JAE:
+		return int((span + step - 1) / step)
+	default:
+		return 0
+	}
+}

@@ -54,6 +54,58 @@ func TestEveryOpcodeClassified(t *testing.T) {
 	}
 }
 
+// TestEveryOpcodeAttributed pins the static attribute table (attr.go) to
+// the class masks and the core.go interpreter semantics for the full
+// opcode space, so a new opcode cannot ship without attributes:
+//
+//   - ReadsFlags exactly for conditional branches;
+//   - WritesFlags exactly for the ALU families core.go routes through
+//     addFlags/subFlags/logicFlags (arith, logic incl. NOT, shifts,
+//     rotates, compares);
+//   - Mem mirrors ClassLoad/ClassStore, plus the two branch opcodes that
+//     move data through the stack (CALL stores the return index, RET
+//     loads it);
+//   - RSX agrees with the default firmware tag-set classes.
+func TestEveryOpcodeAttributed(t *testing.T) {
+	for _, op := range isa.AllOps() {
+		a := op.Attr()
+
+		if want := op.IsCondBranch(); a.ReadsFlags != want {
+			t.Errorf("%s: ReadsFlags = %v, want %v (IsCondBranch)", op, a.ReadsFlags, want)
+		}
+
+		wantWrites := op.Is(isa.ClassArith|isa.ClassAnd|isa.ClassOr|isa.ClassXor|isa.ClassShift|isa.ClassRotate) || op == isa.NOT
+		if a.WritesFlags != wantWrites {
+			t.Errorf("%s: WritesFlags = %v, want %v (ALU families + NOT)", op, a.WritesFlags, wantWrites)
+		}
+
+		wantMem := isa.MemNone
+		switch {
+		case op.Is(isa.ClassLoad) || op == isa.RET:
+			wantMem = isa.MemLoad
+		case op.Is(isa.ClassStore) || op == isa.CALL:
+			wantMem = isa.MemStore
+		}
+		if a.Mem != wantMem {
+			t.Errorf("%s: Mem = %d, want %d", op, a.Mem, wantMem)
+		}
+
+		if want := op.Is(isa.ClassRotate | isa.ClassShift | isa.ClassXor); a.RSX != want {
+			t.Errorf("%s: RSX = %v, want %v (class masks)", op, a.RSX, want)
+		}
+
+		if want := op == isa.JB || op == isa.JBE || op == isa.JA || op == isa.JAE; op.IsUnsignedCondBranch() != want {
+			t.Errorf("%s: IsUnsignedCondBranch = %v, want %v", op, op.IsUnsignedCondBranch(), want)
+		}
+	}
+	if a := isa.OpInvalid.Attr(); a != (isa.OpAttr{}) {
+		t.Errorf("OpInvalid.Attr() = %+v, want the zero OpAttr", a)
+	}
+	if a := isa.Op(255).Attr(); a != (isa.OpAttr{}) {
+		t.Errorf("out-of-range Attr() = %+v, want the zero OpAttr", a)
+	}
+}
+
 // TestRSXClassificationCoversEveryOpcode pins the firmware tag tables to
 // the class masks for the full opcode space: RSX tags exactly the
 // rotate/shift/xor families, RSXO additionally the or family, and the

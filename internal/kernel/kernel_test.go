@@ -210,7 +210,7 @@ func TestProcFSRoundTrip(t *testing.T) {
 	if k.Tunables().Period != 30*time.Second {
 		t.Errorf("period = %v", k.Tunables().Period)
 	}
-	if got := len(fs.List()); got != 6 {
+	if got := len(fs.List()); got != 7 {
 		t.Errorf("List() len = %d", got)
 	}
 	for _, p := range fs.List() {

@@ -71,6 +71,7 @@ type kmetrics struct {
 	windows       *obs.Counter
 	windowsOver   *obs.Counter
 	windowsExempt *obs.Counter
+	windowsStatic *obs.Counter
 	windowRSX     *obs.Histogram
 
 	// Alert pipeline.
@@ -128,6 +129,8 @@ func newKMetrics(reg *obs.Registry, cores int) *kmetrics {
 			Unit: "windows", Help: "windows whose RSX count exceeded the threshold"}),
 		windowsExempt: reg.Counter(obs.Desc{Name: "detect_windows_exempt_total", Layer: obs.LayerKernel,
 			Unit: "windows", Help: "over-threshold windows suppressed by an exemption"}),
+		windowsStatic: reg.Counter(obs.Desc{Name: "detect_windows_static_total", Layer: obs.LayerKernel,
+			Unit: "windows", Help: "windows checked at the shortened static-prior period"}),
 		windowRSX: reg.Histogram(obs.Desc{Name: "detect_window_rsx", Layer: obs.LayerKernel,
 			Unit: "instructions", Help: "RSX instructions per completed monitoring window"}, obsWindowBuckets),
 		alertsProcess: reg.Counter(obs.Desc{Name: "alerts_total", Label: obs.Label("scope", "process"),

@@ -33,20 +33,43 @@ type Tunables struct {
 	// process trees (an extension beyond the paper's tgid aggregation: it
 	// defeats miners that fork worker processes instead of threads).
 	SessionAggregation bool
+	// StaticPriorDivisor shortens the monitoring window for thread groups
+	// statically flagged by guest-program analysis (TgidRSX.SetStaticPrior):
+	// a flagged group's window is Period/divisor with a proportionally
+	// scaled threshold — the same RSX rate criterion, confirmed in a
+	// fraction of the time. 0 or 1 disables the shortening.
+	StaticPriorDivisor uint64
 }
 
 // DefaultTunables returns the paper's deployment defaults.
 func DefaultTunables() Tunables {
 	return Tunables{
-		ThresholdPerMin: 2_500_000_000,
-		Period:          time.Minute,
-		Enabled:         true,
+		ThresholdPerMin:    2_500_000_000,
+		Period:             time.Minute,
+		Enabled:            true,
+		StaticPriorDivisor: 4,
 	}
 }
 
 // thresholdForPeriod scales the per-minute threshold to the window length.
 func (t Tunables) thresholdForPeriod() uint64 {
-	return uint64(float64(t.ThresholdPerMin) * t.Period.Minutes())
+	return t.thresholdFor(t.Period)
+}
+
+// thresholdFor scales the per-minute threshold to an arbitrary window
+// length (the static-prior path checks shortened windows).
+func (t Tunables) thresholdFor(period time.Duration) uint64 {
+	return uint64(float64(t.ThresholdPerMin) * period.Minutes())
+}
+
+// periodFor returns the monitoring window for one accounting structure:
+// the configured Period, divided by StaticPriorDivisor when the thread
+// group carries a static-analysis flag.
+func (t Tunables) periodFor(g *TgidRSX) time.Duration {
+	if g.staticFlagged && t.StaticPriorDivisor > 1 {
+		return t.Period / time.Duration(t.StaticPriorDivisor)
+	}
+	return t.Period
 }
 
 // ProcFS is a tiny virtual filesystem exposing the tunables, mirroring
@@ -63,6 +86,7 @@ const (
 	ProcEnabled     = "sys/rsx/enabled"
 	ProcMonitorRoot = "sys/rsx/monitor_root"
 	ProcSessionAgg  = "sys/rsx/session_aggregation"
+	ProcStaticDiv   = "sys/rsx/static_prior_divisor"
 	// ProcStats is the read-only observability view: every registered
 	// metric of the kernel's registry (scheduler phase timings, per-core
 	// busy/idle, TLB and window statistics, alert latency) plus the trace
@@ -72,7 +96,7 @@ const (
 
 // List returns all exposed paths, sorted.
 func (p *ProcFS) List() []string {
-	paths := []string{ProcThreshold, ProcPeriod, ProcEnabled, ProcMonitorRoot, ProcSessionAgg, ProcStats}
+	paths := []string{ProcThreshold, ProcPeriod, ProcEnabled, ProcMonitorRoot, ProcSessionAgg, ProcStaticDiv, ProcStats}
 	sort.Strings(paths)
 	return paths
 }
@@ -100,6 +124,8 @@ func (p *ProcFS) Read(path string) (string, error) {
 		return boolFile(t.MonitorRoot), nil
 	case ProcSessionAgg:
 		return boolFile(t.SessionAggregation), nil
+	case ProcStaticDiv:
+		return strconv.FormatUint(t.StaticPriorDivisor, 10), nil
 	default:
 		return "", fmt.Errorf("procfs: no such file %q", path)
 	}
@@ -145,6 +171,12 @@ func (p *ProcFS) Write(path, value string) error {
 			return fmt.Errorf("procfs: %s: %w", path, err)
 		}
 		p.k.tunables.SessionAggregation = b
+	case ProcStaticDiv:
+		v, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("procfs: %s: invalid divisor %q", path, value)
+		}
+		p.k.tunables.StaticPriorDivisor = v
 	default:
 		return fmt.Errorf("procfs: no such file %q", path)
 	}

@@ -33,6 +33,11 @@ type Alert struct {
 	Scope      AlertScope    `json:"scope"`
 	RSXInWin   uint64        `json:"rsx_in_window"` // RSX instructions observed in the monitoring window
 	RatePerMin float64       `json:"rate_per_min"`  // normalized rate that tripped the threshold
+	// StaticRisk is the thread group's static-analysis prior (0 when none
+	// was stamped); StaticPrior records whether the shortened static-prior
+	// window confirmed this alert.
+	StaticRisk  float64 `json:"static_risk,omitempty"`
+	StaticPrior bool    `json:"static_prior,omitempty"`
 }
 
 // String renders the alert as the user-visible message.
@@ -733,27 +738,36 @@ func (k *Kernel) account(task *Task, delta uint64, switchTime time.Duration) {
 //
 //cryptojack:locked
 func (k *Kernel) checkWindow(g *TgidRSX, task *Task, switchTime time.Duration, scope AlertScope) {
-	if switchTime-g.windowStart < k.tunables.Period {
+	// Statically-flagged thread groups (gsa prior) are checked on shortened
+	// windows with a proportionally scaled threshold: the same sustained
+	// RSX rate confirms in a fraction of the time.
+	period := k.tunables.periodFor(g)
+	if switchTime-g.windowStart < period {
 		return
 	}
 	inWindow := g.rsxCount.Load() - g.windowBase
-	over := inWindow > k.tunables.thresholdForPeriod()
+	over := inWindow > k.tunables.thresholdFor(period)
 	if k.om != nil {
 		k.om.windows.Inc()
 		k.om.windowRSX.Observe(inWindow)
+		if period != k.tunables.Period {
+			k.om.windowsStatic.Inc()
+		}
 		if over && g.exempt {
 			k.om.windowsExempt.Inc()
 		}
 	}
 	if over && !g.exempt {
 		a := Alert{
-			Time:       switchTime,
-			Pid:        task.Pid,
-			Tgid:       task.Tgid,
-			Name:       task.Name,
-			Scope:      scope,
-			RSXInWin:   inWindow,
-			RatePerMin: float64(inWindow) / k.tunables.Period.Minutes(),
+			Time:        switchTime,
+			Pid:         task.Pid,
+			Tgid:        task.Tgid,
+			Name:        task.Name,
+			Scope:       scope,
+			RSXInWin:    inWindow,
+			RatePerMin:  float64(inWindow) / period.Minutes(),
+			StaticRisk:  g.staticRisk,
+			StaticPrior: period != k.tunables.Period,
 		}
 		g.alerted = true
 		k.alerts = append(k.alerts, a)

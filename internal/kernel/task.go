@@ -25,7 +25,27 @@ type TgidRSX struct {
 	// (administrative allow-listing for legitimate sustained crypto use;
 	// accounting continues so the exemption is auditable).
 	exempt bool
+
+	// Static-analysis prior (internal/gsa), stamped before the thread group
+	// first runs. staticFlagged groups are checked on shortened monitoring
+	// windows (Tunables.StaticPriorDivisor) with a proportionally scaled
+	// threshold: the same sustained-rate criterion, reached sooner. The
+	// risk score itself is carried for alert/procfs reporting only.
+	staticRisk    float64
+	staticFlagged bool
 }
+
+// SetStaticPrior stamps the group's static-analysis prior: the gsa risk
+// score and whether it crossed the flagging threshold. Call before the
+// thread group first runs (spawn time); the scheduler reads the fields on
+// every window check without synchronization.
+func (g *TgidRSX) SetStaticPrior(risk float64, flagged bool) {
+	g.staticRisk = risk
+	g.staticFlagged = flagged
+}
+
+// StaticPrior returns the stamped static risk score and flag.
+func (g *TgidRSX) StaticPrior() (float64, bool) { return g.staticRisk, g.staticFlagged }
 
 // RSXCount returns the group's cumulative RSX instruction count.
 func (g *TgidRSX) RSXCount() uint64 { return g.rsxCount.Load() }

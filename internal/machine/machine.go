@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"darkarts/internal/cpu"
+	"darkarts/internal/gsa"
 	"darkarts/internal/isa"
 	"darkarts/internal/kernel"
 	"darkarts/internal/microcode"
@@ -149,6 +150,24 @@ func (m *Machine) SpawnProgram(name string, prog *isa.Program, ips uint64, loop 
 	}
 	w.Loop = loop
 	return m.kern.Spawn(name, 1000, w), nil
+}
+
+// SpawnAnalyzedProgram runs guest static analysis (internal/gsa) over the
+// program before spawning it: the program is annotated with trace-seeding
+// hot-loop hints, and the new task's thread group is stamped with the
+// static risk prior — statically-flagged programs (PoW loop structure) are
+// then confirmed by the kernel on shortened monitoring windows
+// (Tunables.StaticPriorDivisor). Annotation mutates prog under the same
+// write-once discipline as program construction, so analyze before the
+// program image is loaded anywhere else.
+func (m *Machine) SpawnAnalyzedProgram(name string, prog *isa.Program, ips uint64, loop bool) (*kernel.Task, gsa.StaticProfile, error) {
+	prof := gsa.Annotate(prog)
+	task, err := m.SpawnProgram(name, prog, ips, loop)
+	if err != nil {
+		return nil, prof, err
+	}
+	task.RSX().SetStaticPrior(prof.RiskScore, prof.Flagged())
+	return task, prof, nil
 }
 
 // Parallel reports whether the kernel will execute quanta on per-core

@@ -1,0 +1,50 @@
+package workload_test
+
+import (
+	"testing"
+
+	"darkarts/internal/isa"
+	"darkarts/internal/workload"
+)
+
+// TestRegistryDisasmRoundTrip disassembles every registry program and
+// re-assembles the text, asserting instruction-exact identity — the drift
+// check the assembler fuzzers miss because they only generate what the
+// grammar already accepts. Initialised data bytes are not representable in
+// the text form (only .data scratch size is), so Data is exempt; the code
+// image, entry point, and scratch size must survive exactly, and the
+// disassembly must be a fixpoint (disassembling the re-assembled program
+// reproduces the text byte for byte).
+func TestRegistryDisasmRoundTrip(t *testing.T) {
+	for _, e := range workload.ProgramRegistry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			p := e.Build()
+			text := isa.Disassemble(p)
+			q, err := isa.Assemble(text)
+			if err != nil {
+				t.Fatalf("re-assembling disassembly of %s: %v", e.Name, err)
+			}
+			if len(q.Code) != len(p.Code) {
+				t.Fatalf("code length %d → %d", len(p.Code), len(q.Code))
+			}
+			for i := range p.Code {
+				if p.Code[i] != q.Code[i] {
+					t.Fatalf("instruction %d drifted: %v → %v", i, p.Code[i], q.Code[i])
+				}
+			}
+			if q.Entry != p.Entry {
+				t.Errorf("entry %d → %d", p.Entry, q.Entry)
+			}
+			if q.Name != p.Name {
+				t.Errorf("name %q → %q", p.Name, q.Name)
+			}
+			if wantSize := p.DataSize; q.DataSize != wantSize {
+				t.Errorf("data size %d → %d", wantSize, q.DataSize)
+			}
+			if again := isa.Disassemble(q); again != text {
+				t.Errorf("disassembly is not a fixpoint for %s", e.Name)
+			}
+		})
+	}
+}
