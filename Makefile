@@ -86,23 +86,39 @@ bench:
 	$(GO) test -run '^$$' -bench 'DetailedEngineMIPS' -benchtime 20000000x .
 	$(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 50000000x .
 	$(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel
+	$(GO) test -run '^$$' -bench 'FleetScaling/Mixed' -benchtime 16x -cpu 1,2,4 ./internal/fleet
+	$(GO) test -run '^$$' -bench 'FleetScaling/IdleHeavy' -benchtime 1024x -cpu 1,2,4 ./internal/fleet
 
-# Perf-regression gate: re-measure the engine throughput benchmarks and
-# fail if any guarded MIPS figure (FastEngineMIPS, BlockCacheMIPS) lands
-# more than 20% below the committed BENCH_baseline.json. Run after any
-# change near internal/cpu; CI's perf-smoke job runs the same gate.
+# Perf-regression gate: re-measure the guarded benchmarks and fail on a
+# drop below the committed BENCH_baseline.json — the engine MIPS figures
+# (FastEngineMIPS, BlockCacheMIPS) at 20%, and the fleet round loop's
+# hosts/s (FleetScaling, multi-core + fast-forward ablation cells) at
+# 40%: fleet rounds are milliseconds, not seconds, so shared-runner noise
+# is larger, but a lost fast-forward or serialization bug loses 5-25x.
+# The -cpu list and per-population iteration counts must match
+# bench-json's, or the fresh run would lack stable counterparts for the
+# baseline's per-width records (idle-heavy rounds are tens of
+# microseconds — they need ~1024 rounds to average scheduler jitter
+# below the gate's tolerance). Run after any change near internal/cpu or
+# internal/fleet; CI's perf-smoke job runs the same gates.
 bench-diff:
 	{ $(GO) test -run '^$$' -bench 'FastEngineMIPS' -benchtime 100000000x . ; \
 	  $(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 50000000x . ; } \
 	| $(GO) run ./cmd/benchjson -diff BENCH_baseline.json -tol 0.20
+	{ $(GO) test -run '^$$' -bench 'FleetScaling/Mixed' -benchtime 16x -cpu 1,2,4 ./internal/fleet ; \
+	  $(GO) test -run '^$$' -bench 'FleetScaling/IdleHeavy' -benchtime 1024x -cpu 1,2,4 ./internal/fleet ; } \
+	| $(GO) run ./cmd/benchjson -diff BENCH_baseline.json -tol 0.40 \
+	  -diff-metric 'hosts/s' -diff-match 'FleetScaling' -keep-cpu 'FleetScaling'
 
 # Regenerate BENCH_baseline.json from the benchmarks above.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'FastEngineMIPS' -benchtime 100000000x . ; \
 	  $(GO) test -run '^$$' -bench 'DetailedEngineMIPS' -benchtime 20000000x . ; \
 	  $(GO) test -run '^$$' -bench 'BlockCacheMIPS' -benchtime 50000000x . ; \
-	  $(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+	  $(GO) test -run '^$$' -bench 'ParallelQuantum' -benchtime 50x ./internal/kernel ; \
+	  $(GO) test -run '^$$' -bench 'FleetScaling/Mixed' -benchtime 16x -cpu 1,2,4 ./internal/fleet ; \
+	  $(GO) test -run '^$$' -bench 'FleetScaling/IdleHeavy' -benchtime 1024x -cpu 1,2,4 ./internal/fleet ; } \
+	| $(GO) run ./cmd/benchjson -keep-cpu 'FleetScaling' -o BENCH_baseline.json
 
 clean:
 	$(GO) clean ./...

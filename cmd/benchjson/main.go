@@ -21,6 +21,14 @@
 // note; higher-than-baseline results always pass.
 //
 //	make bench | go run ./cmd/benchjson -diff BENCH_baseline.json -tol 0.20
+//
+// The -GOMAXPROCS suffix Go appends to benchmark names is stripped by
+// default, so baselines stay portable across host widths. -keep-cpu
+// names a regexp of benchmarks where the suffix is the point — a -cpu
+// sweep whose per-width records must stay distinct (BenchmarkFleetScaling
+// in this repo); matching names keep the suffix verbatim. Sweeps guarded
+// this way must pin an explicit -cpu list in the bench target, so the
+// names are reproducible on any host.
 package main
 
 import (
@@ -49,7 +57,17 @@ func main() {
 	tol := flag.Float64("tol", 0.20, "with -diff: allowed fractional drop below baseline")
 	diffMetric := flag.String("diff-metric", "MIPS", "with -diff: metric unit to compare")
 	diffMatch := flag.String("diff-match", "FastEngineMIPS|BlockCacheMIPS", "with -diff: regexp of benchmark names to guard")
+	keepCPU := flag.String("keep-cpu", "", "regexp of benchmark names that keep the -GOMAXPROCS suffix (-cpu sweeps)")
 	flag.Parse()
+
+	if *keepCPU != "" {
+		re, err := regexp.Compile(*keepCPU)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -keep-cpu:", err)
+			os.Exit(1)
+		}
+		keepCPURe = re
+	}
 
 	results, err := parse(os.Stdin)
 	if err != nil {
@@ -204,6 +222,10 @@ func parse(f *os.File) ([]Result, error) {
 	return results, sc.Err()
 }
 
+// keepCPURe, when set via -keep-cpu, names the benchmarks whose
+// -GOMAXPROCS name suffix carries meaning (explicit -cpu sweeps).
+var keepCPURe *regexp.Regexp
+
 // parseLine parses "BenchmarkName-8  100  12345 ns/op  67.8 MIPS ...".
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
@@ -211,8 +233,9 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	name := fields[0]
-	// Strip the -GOMAXPROCS suffix.
-	if i := strings.LastIndex(name, "-"); i > 0 {
+	// Strip the -GOMAXPROCS suffix, except for -cpu sweeps whose per-width
+	// records must stay distinct.
+	if i := strings.LastIndex(name, "-"); i > 0 && (keepCPURe == nil || !keepCPURe.MatchString(name)) {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
 		}

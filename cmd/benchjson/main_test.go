@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 )
 
@@ -19,6 +20,28 @@ func TestParseLine(t *testing.T) {
 	}
 	if _, ok := parseLine("goos: linux"); ok {
 		t.Error("non-benchmark line accepted")
+	}
+}
+
+func TestParseLineKeepCPU(t *testing.T) {
+	keepCPURe = regexp.MustCompile("FleetScaling")
+	defer func() { keepCPURe = nil }()
+	r, ok := parseLine("BenchmarkFleetScaling/Mixed256-4   	      16	  52462322 ns/op	      4879 hosts/s")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkFleetScaling/Mixed256-4" {
+		t.Errorf("-cpu sweep suffix stripped: %q", r.Name)
+	}
+	if r.Metrics["hosts/s"] != 4879 {
+		t.Errorf("parsed %+v", r)
+	}
+	r, ok = parseLine("BenchmarkFastEngineMIPS-8   	       3	 403331325 ns/op	        52.61 MIPS")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkFastEngineMIPS" {
+		t.Errorf("non-matching benchmark kept its suffix: %q", r.Name)
 	}
 }
 

@@ -222,3 +222,25 @@ func RankLoops(scores map[int]float64) []int {
 	}
 	return ranked
 }
+
+// coordinator mirrors the fleet round loop's shape: simTime is the
+// barrier-owned simulation clock, advanced only while mu is held.
+type coordinator struct {
+	mu      sync.Mutex
+	simTime int64 // guarded by mu
+}
+
+// Advance seeds the outside-the-barrier mutation the fleet's collect
+// discipline forbids: the simulation clock moves without the
+// coordinator's lock, so an API reader can observe a torn round.
+func (c *coordinator) Advance(round int64) {
+	c.simTime += round
+}
+
+// Barrier is the correct counterpart: the clock only moves under mu.
+func (c *coordinator) Barrier(round int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.simTime += round
+	return c.simTime
+}

@@ -3,9 +3,9 @@
 // (benign rate-model apps, catalog ISA programs, and miners on a
 // configurable fraction of machines), runs a span of simulated time, and
 // reports the service-level numbers that matter at scale — sustained
-// hosts per second, aggregate alert latency, and per-shard busy
-// fractions — in the benchjson schema so runs can be committed and
-// diffed like benchmarks.
+// hosts per second, aggregate alert latency, per-worker busy fractions,
+// and the scheduler's steal and fast-forward totals — in the benchjson
+// schema so runs can be committed and diffed like benchmarks.
 //
 // Usage:
 //
@@ -148,7 +148,10 @@ func tenantSet(n int) map[string]bool {
 }
 
 // report distills the fleet registry into the load summary: hosts/sec,
-// aggregate alert latency, per-shard busy fractions.
+// aggregate alert latency, per-worker busy fractions (workers, not home
+// batches: a worker's busy time includes the machines it stole, so these
+// fractions describe where host CPU actually went), and steal /
+// fast-forward totals.
 func report(f *fleet.Fleet, wall time.Duration, tasks int) []result {
 	eff := f.Config()
 	simSec := f.Now().Seconds()
@@ -176,9 +179,13 @@ func report(f *fleet.Fleet, wall time.Duration, tasks int) []result {
 			}
 		case "fleet_bbcache_shared_hits_total":
 			m["bbcache_shared_hits"] = float64(mt.Value)
-		case "fleet_shard_busy_ns_total":
+		case "fleet_steals_total":
+			m["steal_total"] = float64(mt.Value)
+		case "fleet_fastforward_rounds_total":
+			m["fastforward_rounds_total"] = float64(mt.Value)
+		case "fleet_worker_busy_ns_total":
 			busy[mt.Label] = float64(mt.Value)
-		case "fleet_shard_idle_ns_total":
+		case "fleet_worker_idle_ns_total":
 			idle[mt.Label] = float64(mt.Value)
 		}
 	}
@@ -188,7 +195,7 @@ func report(f *fleet.Fleet, wall time.Duration, tasks int) []result {
 		if tot := b + idle[label]; tot > 0 {
 			frac = b / tot
 		}
-		m["busy_frac_"+shardSuffix(label)] = frac
+		m["busy_frac_"+workerSuffix(label)] = frac
 		if frac < minFrac {
 			minFrac = frac
 		}
@@ -198,9 +205,9 @@ func report(f *fleet.Fleet, wall time.Duration, tasks int) []result {
 		sumFrac += frac
 	}
 	if len(busy) > 0 {
-		m["shard_busy_frac_min"] = minFrac
-		m["shard_busy_frac_max"] = maxFrac
-		m["shard_busy_frac_avg"] = sumFrac / float64(len(busy))
+		m["worker_busy_frac_min"] = minFrac
+		m["worker_busy_frac_max"] = maxFrac
+		m["worker_busy_frac_avg"] = sumFrac / float64(len(busy))
 	}
 	fmt.Printf("ran %.0fs simulated in %.2fs wall: %.0f host-seconds/second, %0.f alerts",
 		simSec, wallSec, m["hosts_per_second"], alerts)
@@ -216,8 +223,8 @@ func report(f *fleet.Fleet, wall time.Duration, tasks int) []result {
 	}}
 }
 
-// shardSuffix turns the metric label `shard="3"` into "shard3".
-func shardSuffix(label string) string {
-	v := strings.TrimSuffix(strings.TrimPrefix(label, `shard="`), `"`)
-	return "shard" + v
+// workerSuffix turns the metric label `worker="3"` into "worker3".
+func workerSuffix(label string) string {
+	v := strings.TrimSuffix(strings.TrimPrefix(label, `worker="`), `"`)
+	return "worker" + v
 }

@@ -115,7 +115,7 @@ func (f *Fleet) handleFleet(w http.ResponseWriter, r *http.Request) {
 	f.mu.Lock()
 	s := fleetSummary{
 		Machines:   len(f.members),
-		Shards:     len(f.shards),
+		Shards:     len(f.workers),
 		RoundMs:    f.cfg.Round.Milliseconds(),
 		SimTimeMs:  f.simTime.Milliseconds(),
 		Rounds:     f.rounds,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkarts/internal/cpu"
@@ -18,10 +19,12 @@ import (
 type Config struct {
 	// Machines is the number of simulated hosts (required, >= 1).
 	Machines int
-	// Shards is the number of worker shards the machines are partitioned
-	// across; each shard owns one persistent worker goroutine. 0 picks
-	// min(Machines, GOMAXPROCS). Shard count affects wall-clock speed
-	// only: the alert stream is bit-identical for every value.
+	// Shards is the number of round workers. Each worker owns a contiguous
+	// home batch of machines and, when its batch is drained, steals
+	// unclaimed machines from the other workers' batches through their
+	// atomic claim cursors. 0 picks min(Machines, GOMAXPROCS). Worker
+	// count and steal schedule affect wall-clock speed only: the alert
+	// stream is bit-identical for every value.
 	Shards int // cryptojack:hostonly -- worker-pool width, result-invariant
 	// Round is the simulated time every machine advances between barriers
 	// (default 1s). Alerts are batched per machine per round and flushed
@@ -49,6 +52,12 @@ type Config struct {
 	// (the pre-fleet behaviour). The zero value shares one process-wide
 	// cache across all member machines.
 	NoSharedBlocks bool
+	// NoFastForward forces per-quantum simulation on every machine every
+	// round. The zero value lets quiescent machines (idle, or purely
+	// rate-model) advance analytically via Machine.FastForward — a pure
+	// performance ablation knob: the alert stream is bit-identical either
+	// way (kernel differential tests hold the two paths to equality).
+	NoFastForward bool // cryptojack:hostonly -- execution strategy, result-invariant
 	// StaticPolicy selects what fleet admission does with the guest
 	// static-analysis profile (internal/gsa) of submitted ISA programs:
 	// StaticAdmit reports it, StaticFlag (the default) additionally stamps
@@ -96,17 +105,20 @@ type Alert struct {
 	kernel.Alert
 }
 
-// Member is one fleet slot: a machine plus its shard assignment and
+// Member is one fleet slot: a machine plus its home-batch assignment and
 // streaming state.
 type Member struct {
-	ID    int
+	ID int
+	// Shard is the member's home batch (the worker whose claim cursor
+	// covers it). Work stealing may advance the machine on any worker; the
+	// assignment is a scheduling hint and API label, never a result input.
 	Shard int
 	M     *machine.Machine
 
 	// pending buffers the round's alerts. It is appended to by the
-	// machine's OnAlert callback (on the shard worker goroutine) and
-	// drained by the coordinator at the round barrier; the barrier's
-	// happens-before edge orders the two.
+	// machine's OnAlert callback (on whichever worker claimed the machine
+	// this round — exactly one does) and drained by the coordinator at the
+	// round barrier; the barrier's happens-before edge orders the two.
 	pending []kernel.Alert
 	// placed counts workloads placed on this member (the placement
 	// heuristic's load signal).
@@ -120,43 +132,67 @@ type tenantKey struct {
 	tgid    int
 }
 
-// shard is one worker of the per-shard pool, mirroring the kernel's
-// stealWorker: a persistent goroutine that advances its member range one
-// round per start signal.
+// worker is one claimant of the work-stealing round scheduler, mirroring
+// the kernel's stealWorker one level up: machines instead of cores. Each
+// worker owns a contiguous home batch [lo, hi) of the member list with an
+// atomic claim cursor; it drains its own batch first (cheap uncontended
+// claims, warm per-batch locality), then sweeps the other workers'
+// cursors stealing whatever they have not reached. Worker 0 is the
+// coordinator goroutine itself, so a one-worker fleet runs without any
+// goroutine round-trips.
 //
-// Pure host-side execution machinery (pool shape and wall-clock
-// accounting): the partition affects scheduling only, never results.
+// Pure host-side execution machinery (pool shape, claim cursors, and
+// wall-clock accounting): which worker advances a machine affects
+// scheduling only, never results — machines are mutually independent and
+// each is claimed exactly once per round.
 //
 //cryptojack:hostonly
-type shard struct {
-	f       *Fleet
-	id      int
-	members []*Member
-	start   chan time.Duration
-	busy    time.Duration // wall time advancing machines, last round
+type worker struct {
+	f      *Fleet
+	id     int
+	lo, hi int          // home batch [lo, hi) of f.members
+	next   atomic.Int64 // claim cursor into the home batch; all workers share it
+	start  chan time.Duration
+
+	// Per-round scratch, reset by the coordinator before the start signal
+	// and folded into the registry at the barrier (both edges ordered by
+	// the channel send and the WaitGroup).
+	busy     time.Duration // wall time advancing machines, last round
+	claimed  uint64        // machines advanced, last round
+	steals   uint64        // claims taken from other workers' batches
+	ffRounds uint64        // machine-rounds advanced analytically
 }
 
-// Fleet runs thousands of Machines in one process: machines are
-// partitioned across per-shard worker goroutines, advance in lock-step
-// rounds of simulated time, and flush per-machine alert batches into one
+// Fleet runs thousands of Machines in one process: work-stealing workers
+// claim machines off per-batch atomic cursors, advance them in lock-step
+// rounds of simulated time (quiescent machines analytically, via
+// Machine.FastForward), and flush per-machine alert batches into one
 // canonically ordered fleet stream at every round barrier.
 //
 // Determinism: machines are mutually independent (the only shared
 // structure, the decoded-block cache, is content-deterministic and
-// read-mostly), and the barrier drains batches in machine-ID order — so
-// the alert stream is bit-identical across shard counts and across runs.
-// Submissions placed while the fleet is quiescent (before Run, or between
-// Run calls) are part of that guarantee; submissions during a running
-// round land immediately and are placed best-effort relative to it.
+// read-mostly), every machine is claimed by exactly one worker per round,
+// and the barrier drains batches in machine-ID order — so the alert
+// stream is bit-identical across worker counts, steal schedules, and
+// fast-forward on/off. Submissions placed while the fleet is quiescent
+// (before Run, or between Run calls) are part of that guarantee;
+// submissions during a running round land immediately and are placed
+// best-effort relative to it.
 //
 // Run must be driven from one goroutine at a time. Submit, AlertsSince,
 // Members, and the API handlers are safe to call concurrently with Run.
 type Fleet struct {
 	cfg     Config
 	members []*Member
-	shards  []*shard // cryptojack:hostonly -- worker pool, result-invariant
+	workers []*worker // cryptojack:hostonly -- worker pool, result-invariant
 	shared  *cpu.SharedBlocks
 	om      *fmetrics // cryptojack:hostonly
+
+	// Scheduler test hooks (sched_test.go): hookRoundStart delays chosen
+	// workers to force steal-heavy schedules; noSteal confines every worker
+	// to its home batch. Both set before Run, read-only during it.
+	hookRoundStart func(workerID int) // cryptojack:hostonly -- test-only schedule shaping
+	noSteal        bool               // cryptojack:hostonly -- test-only schedule shaping
 
 	// mu guards the alert stream, tenancy tables, and placement state
 	// against concurrent API readers/writers.
@@ -228,7 +264,7 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	if cfg.Obs != nil {
 		f.om = newFMetrics(cfg.Obs, cfg.Shards)
-		f.om.shards.Set(int64(cfg.Shards))
+		f.om.workers.Set(int64(cfg.Shards))
 	}
 	for i := 0; i < cfg.Machines; i++ {
 		opts := cfg.Machine
@@ -242,8 +278,10 @@ func New(cfg Config) (*Fleet, error) {
 		m.OnAlert(func(a kernel.Alert) { mem.pending = append(mem.pending, a) })
 		f.members = append(f.members, mem)
 	}
-	// Contiguous balanced partition: shard s owns members [lo, hi). The
-	// partition affects scheduling only, never results.
+	// Contiguous balanced home batches: worker s starts from members
+	// [lo, hi). The partition seeds claim locality only, never results —
+	// stealing moves unclaimed machines to whichever worker gets there
+	// first.
 	per := cfg.Machines / cfg.Shards
 	extra := cfg.Machines % cfg.Shards
 	lo := 0
@@ -252,11 +290,11 @@ func New(cfg Config) (*Fleet, error) {
 		if s < extra {
 			n++
 		}
-		sh := &shard{f: f, id: s, members: f.members[lo : lo+n], start: make(chan time.Duration, 1)}
-		for _, mem := range sh.members {
+		w := &worker{f: f, id: s, lo: lo, hi: lo + n, start: make(chan time.Duration, 1)}
+		for _, mem := range f.members[lo : lo+n] {
 			mem.Shard = s
 		}
-		f.shards = append(f.shards, sh)
+		f.workers = append(f.workers, w)
 		lo += n
 		if f.om != nil {
 			f.om.machines[s].Set(int64(n))
@@ -285,35 +323,78 @@ func (f *Fleet) Now() time.Duration { return f.simTime }
 // Rounds returns the number of completed fleet rounds.
 func (f *Fleet) Rounds() uint64 { return f.rounds }
 
-// loop is the shard worker: one round of simulated time per start signal.
-func (sh *shard) loop() {
-	for d := range sh.start {
-		var t0 time.Time
-		if sh.f.om != nil {
-			//lint:ignore determinism host wall clock feeds the shard busy-time metric only, never simulation state
-			t0 = time.Now()
-		}
-		for _, mem := range sh.members {
-			mem.M.Run(d)
-		}
-		if sh.f.om != nil {
-			sh.busy = time.Since(t0)
-		}
-		sh.f.workerWG.Done()
+// loop drives one thief worker: one round of simulated time per start
+// signal. Worker 0 never runs loop — the coordinator calls work inline.
+func (w *worker) loop() {
+	for d := range w.start {
+		w.work(d)
+		w.f.workerWG.Done()
 	}
+}
+
+// work is one worker's share of a round: drain the home batch, then steal
+// from every other worker's batch until all cursors are exhausted.
+func (w *worker) work(step time.Duration) {
+	if h := w.f.hookRoundStart; h != nil {
+		h(w.id)
+	}
+	var t0 time.Time
+	if w.f.om != nil {
+		//lint:ignore determinism host wall clock feeds the worker busy-time metric only, never simulation state
+		t0 = time.Now()
+	}
+	w.drain(w, step, false)
+	if !w.f.noSteal {
+		n := len(w.f.workers)
+		for off := 1; off < n; off++ {
+			w.drain(w.f.workers[(w.id+off)%n], step, true)
+		}
+	}
+	if w.f.om != nil {
+		w.busy = time.Since(t0)
+	}
+}
+
+// drain claims machines off v's cursor until v's batch is exhausted. The
+// cursor is atomic and monotonic, so across all claimants every index in
+// [v.lo, v.hi) is handed out exactly once per round.
+func (w *worker) drain(v *worker, step time.Duration, steal bool) {
+	for {
+		i := int(v.next.Add(1)) - 1
+		if i >= v.hi {
+			return
+		}
+		w.advance(w.f.members[i], step)
+		w.claimed++
+		if steal {
+			w.steals++
+		}
+	}
+}
+
+// advance moves one machine through the round: analytically when the
+// machine is quiescent (and the ablation knob allows), per-quantum
+// simulation otherwise. The two paths are bit-identical by the kernel's
+// differential guarantee.
+func (w *worker) advance(mem *Member, step time.Duration) {
+	if !w.f.cfg.NoFastForward && mem.M.FastForward(step) {
+		w.ffRounds++
+		return
+	}
+	mem.M.Run(step)
 }
 
 // Run advances every machine by d of simulated time in Round-sized
 // lock-step rounds (the tail round is shortened so all machines land
 // exactly d later). It must not be called concurrently with itself.
 func (f *Fleet) Run(d time.Duration) {
-	for _, sh := range f.shards {
-		go sh.loop()
+	for _, w := range f.workers[1:] {
+		go w.loop()
 	}
 	defer func() {
-		for _, sh := range f.shards {
-			close(sh.start)
-			sh.start = make(chan time.Duration, 1)
+		for _, w := range f.workers[1:] {
+			close(w.start)
+			w.start = make(chan time.Duration, 1)
 		}
 	}()
 	f.setRunning(true)
@@ -328,20 +409,27 @@ func (f *Fleet) Run(d time.Duration) {
 	}
 }
 
-// round runs one barrier-to-barrier step: all shards advance their
-// machines by step concurrently, then the coordinator drains per-machine
-// alert batches in machine-ID order — the canonical stream order that
-// makes the result independent of sharding.
+// round runs one barrier-to-barrier step: the coordinator resets every
+// claim cursor, signals the thief workers, participates as worker 0, and
+// after the barrier drains per-machine alert batches in machine-ID order
+// — the canonical stream order that makes the result independent of which
+// worker advanced which machine. All per-worker observability deltas fold
+// into the registry here, once per round, never per machine.
 func (f *Fleet) round(step time.Duration) {
 	var t0 time.Time
 	if f.om != nil {
 		//lint:ignore determinism host wall clock feeds the round-timing metric only, never simulation state
 		t0 = time.Now()
 	}
-	f.workerWG.Add(len(f.shards))
-	for _, sh := range f.shards {
-		sh.start <- step
+	for _, w := range f.workers {
+		w.next.Store(int64(w.lo))
+		w.claimed, w.steals, w.ffRounds, w.busy = 0, 0, 0, 0
 	}
+	f.workerWG.Add(len(f.workers) - 1)
+	for _, w := range f.workers[1:] {
+		w.start <- step
+	}
+	f.workers[0].work(step)
 	f.workerWG.Wait()
 	f.collect(step)
 	f.simTime += step
@@ -351,12 +439,17 @@ func (f *Fleet) round(step time.Duration) {
 		f.om.rounds.Inc()
 		f.om.roundNs.Observe(uint64(wall))
 		f.om.machineMs.Add(uint64(len(f.members)) * uint64(step.Milliseconds()))
-		for _, sh := range f.shards {
-			f.om.shardBusy[sh.id].Add(uint64(sh.busy))
-			if idle := wall - sh.busy; idle > 0 {
-				f.om.shardIdle[sh.id].Add(uint64(idle))
+		var steals, ffRounds uint64
+		for _, w := range f.workers {
+			f.om.workerBusy[w.id].Add(uint64(w.busy))
+			if idle := wall - w.busy; idle > 0 {
+				f.om.workerIdle[w.id].Add(uint64(idle))
 			}
+			steals += w.steals
+			ffRounds += w.ffRounds
 		}
+		f.om.steals.Add(steals)
+		f.om.ffRounds.Add(ffRounds)
 		f.om.observeShared(f.shared.Stats())
 	}
 }
@@ -371,41 +464,60 @@ func (f *Fleet) setRunning(v bool) {
 // member-ID order, trimming the retention window, then applies deferred
 // submissions while every machine is quiescent at the barrier. step is the
 // round just executed (machines sit at f.simTime+step).
+//
+// The merge is pre-sized: one pass counts the round's alerts, the stream
+// grows (at most once) to fit them all, and the appends that follow never
+// reallocate. The retention trim slides survivors down in place instead
+// of copying into a fresh slice, so at steady state collect allocates
+// nothing; per-member pending batches keep their capacity round to round.
 func (f *Fleet) collect(step time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var batched, batches uint64
+	var total, batches int
 	for _, mem := range f.members {
-		if len(mem.pending) == 0 {
-			continue
+		if n := len(mem.pending); n > 0 {
+			total += n
+			batches++
 		}
-		batches++
-		for _, a := range mem.pending {
-			fa := Alert{
-				Seq:     f.nextSeq,
-				Machine: mem.ID,
-				Tenant:  f.owners[tenantKey{machine: mem.ID, tgid: a.Tgid}],
-				Alert:   a,
+	}
+	if total > 0 {
+		if need := len(f.stream) + total; need > cap(f.stream) {
+			if grown := 2 * cap(f.stream); need < grown {
+				need = grown
 			}
-			f.nextSeq++
-			f.stream = append(f.stream, fa)
-			batched++
-			if f.om != nil {
-				f.om.alertLagMs.Observe(uint64((f.simTime + step - a.Time).Milliseconds()))
-			}
+			ns := make([]Alert, len(f.stream), need)
+			copy(ns, f.stream)
+			f.stream = ns
 		}
-		mem.pending = mem.pending[:0]
+		for _, mem := range f.members {
+			for _, a := range mem.pending {
+				f.stream = append(f.stream, Alert{
+					Seq:     f.nextSeq,
+					Machine: mem.ID,
+					Tenant:  f.owners[tenantKey{machine: mem.ID, tgid: a.Tgid}],
+					Alert:   a,
+				})
+				f.nextSeq++
+				if f.om != nil {
+					f.om.alertLagMs.Observe(uint64((f.simTime + step - a.Time).Milliseconds()))
+				}
+			}
+			mem.pending = mem.pending[:0]
+		}
 	}
 	if over := len(f.stream) - f.cfg.AlertRetention; over > 0 {
-		f.stream = append(f.stream[:0:0], f.stream[over:]...)
+		// Slide survivors down in place; the vacated tail is overwritten by
+		// future rounds, so the backing array is reused instead of replaced.
+		n := copy(f.stream, f.stream[over:])
+		f.stream = f.stream[:n]
 		f.baseSeq += uint64(over)
 		if f.om != nil {
 			f.om.alertsDrop.Add(uint64(over))
 		}
 	}
 	if f.om != nil {
-		f.om.alerts.Add(batched)
-		f.om.alertBatches.Add(batches)
+		f.om.alerts.Add(uint64(total))
+		f.om.alertBatches.Add(uint64(batches))
 	}
 	f.applyPendingLocked()
 }

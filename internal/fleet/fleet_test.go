@@ -18,7 +18,7 @@ func testConfig(machines int) Config {
 
 // seedWorkloads places the standard test population: one app per machine,
 // a catalog program on every 3rd machine, a miner on every 4th.
-func seedWorkloads(t *testing.T, f *Fleet) {
+func seedWorkloads(t testing.TB, f *Fleet) {
 	t.Helper()
 	n := len(f.Members())
 	for i := 0; i < n; i++ {
@@ -275,9 +275,10 @@ func TestFleetObsRegistered(t *testing.T) {
 		names[n] = true
 	}
 	for _, want := range []string{
-		"fleet_shards", "fleet_machines", "fleet_rounds_total",
+		"fleet_workers", "fleet_machines", "fleet_rounds_total",
 		"fleet_machine_ms_total", "fleet_round_ns",
-		"fleet_shard_busy_ns_total", "fleet_shard_idle_ns_total",
+		"fleet_worker_busy_ns_total", "fleet_worker_idle_ns_total",
+		"fleet_steals_total", "fleet_fastforward_rounds_total",
 		"fleet_alerts_total", "fleet_alert_batches_total",
 		"fleet_alerts_dropped_total", "fleet_alert_latency_ms",
 		"fleet_submissions_total", "fleet_tenants", "fleet_tasks_placed_total",

@@ -25,13 +25,15 @@ var (
 type fmetrics struct {
 	reg *obs.Registry
 
-	machines  []*obs.Gauge // per shard
-	shards    *obs.Gauge
-	rounds    *obs.Counter
-	machineMs *obs.Counter
-	roundNs   *obs.Histogram
-	shardBusy []*obs.Counter
-	shardIdle []*obs.Counter
+	machines   []*obs.Gauge // per worker home batch
+	workers    *obs.Gauge
+	rounds     *obs.Counter
+	machineMs  *obs.Counter
+	roundNs    *obs.Histogram
+	workerBusy []*obs.Counter
+	workerIdle []*obs.Counter
+	steals     *obs.Counter
+	ffRounds   *obs.Counter
 
 	alerts       *obs.Counter
 	alertBatches *obs.Counter
@@ -58,8 +60,12 @@ type fmetrics struct {
 func newFMetrics(reg *obs.Registry, shards int) *fmetrics {
 	m := &fmetrics{
 		reg: reg,
-		shards: reg.Gauge(obs.Desc{Name: "fleet_shards", Layer: obs.LayerFleet,
-			Unit: "shards", Help: "worker shards the fleet's machines are partitioned across"}),
+		workers: reg.Gauge(obs.Desc{Name: "fleet_workers", Layer: obs.LayerFleet,
+			Unit: "workers", Help: "round workers advancing machines (home batches plus work stealing)"}),
+		steals: reg.Counter(obs.Desc{Name: "fleet_steals_total", Layer: obs.LayerFleet,
+			Unit: "machines", Help: "machine advances claimed from another worker's home batch"}),
+		ffRounds: reg.Counter(obs.Desc{Name: "fleet_fastforward_rounds_total", Layer: obs.LayerFleet,
+			Unit: "machine-rounds", Help: "machine-rounds advanced analytically by quiescent fast-forward instead of instruction dispatch"}),
 		rounds: reg.Counter(obs.Desc{Name: "fleet_rounds_total", Layer: obs.LayerFleet,
 			Unit: "rounds", Help: "fleet rounds completed (one Round of simulated time on every machine)"}),
 		machineMs: reg.Counter(obs.Desc{Name: "fleet_machine_ms_total", Layer: obs.LayerFleet,
@@ -100,16 +106,16 @@ func newFMetrics(reg *obs.Registry, shards int) *fmetrics {
 			Unit: "ns", Help: "fleet API request handling latency"}, apiNsBuckets),
 	}
 	for s := 0; s < shards; s++ {
-		label := obs.Label("shard", strconv.Itoa(s))
+		label := obs.Label("worker", strconv.Itoa(s))
 		m.machines = append(m.machines, reg.Gauge(obs.Desc{
 			Name: "fleet_machines", Label: label, Layer: obs.LayerFleet,
-			Unit: "machines", Help: "machines assigned to the shard"}))
-		m.shardBusy = append(m.shardBusy, reg.Counter(obs.Desc{
-			Name: "fleet_shard_busy_ns_total", Label: label, Layer: obs.LayerFleet,
-			Unit: "ns", Help: "host time the shard worker spent advancing its machines"}))
-		m.shardIdle = append(m.shardIdle, reg.Counter(obs.Desc{
-			Name: "fleet_shard_idle_ns_total", Label: label, Layer: obs.LayerFleet,
-			Unit: "ns", Help: "host time the shard worker waited at round barriers (round wall minus busy)"}))
+			Unit: "machines", Help: "machines in the worker's home batch"}))
+		m.workerBusy = append(m.workerBusy, reg.Counter(obs.Desc{
+			Name: "fleet_worker_busy_ns_total", Label: label, Layer: obs.LayerFleet,
+			Unit: "ns", Help: "host time the worker spent advancing machines (home batch plus steals)"}))
+		m.workerIdle = append(m.workerIdle, reg.Counter(obs.Desc{
+			Name: "fleet_worker_idle_ns_total", Label: label, Layer: obs.LayerFleet,
+			Unit: "ns", Help: "host time the worker waited at round barriers (round wall minus busy)"}))
 	}
 	return m
 }

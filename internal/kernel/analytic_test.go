@@ -1,0 +1,272 @@
+package kernel_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"darkarts/internal/cryptoalg"
+	"darkarts/internal/kernel"
+	"darkarts/internal/machine"
+	"darkarts/internal/miner"
+	"darkarts/internal/workload"
+)
+
+// ffOptions is the fleet-member shape: serial kernel, no machine-local
+// registry (the fast-forward eligibility conditions), short windows so
+// miners alert within a short differential run.
+func ffOptions() machine.Options {
+	o := machine.DefaultOptions()
+	o.Kernel.Parallel = false
+	o.Kernel.Obs = nil
+	o.Kernel.Tunables.Period = 2 * time.Second
+	return o
+}
+
+func newFFMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(ffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// populateRate places a rate-model-only population that exercises every
+// accounting path fast-forward must reproduce: bursty interactive apps, a
+// root task (excluded from monitoring), and a throttled multi-thread
+// miner whose threads share one TgidRSX and alert at window crossings.
+func populateRate(m *machine.Machine) {
+	slack := workload.TableIIApps()[0]
+	m.SpawnApp(slack)
+	gimp := workload.TableIIApps()[12]
+	m.SpawnApp(gimp)
+	root := workload.TableIIApps()[1]
+	m.Kernel().Spawn("rootd", 0, workload.NewAppWorkload(root))
+	miner.SpawnMiner(m.Kernel(), miner.Monero, 0.5, 4, 1000)
+}
+
+// machineSnap captures every externally observable piece of simulation
+// state the bit-identity claim covers.
+type ffSnap struct {
+	Now     time.Duration
+	Samples uint64
+	Alerts  []kernel.Alert
+	RSX     []uint64 // per task, thread-group cumulative counts
+	Sess    []uint64 // per task, session cumulative counts
+	Banks   [][]uint64
+}
+
+func ffSnapshot(m *machine.Machine) ffSnap {
+	s := ffSnap{
+		Now:     m.Now(),
+		Samples: m.Kernel().Samples(),
+		Alerts:  m.Alerts(),
+	}
+	for _, t := range m.Kernel().Tasks() {
+		s.RSX = append(s.RSX, t.RSX().RSXCount())
+		s.Sess = append(s.Sess, t.Session().RSXCount())
+	}
+	c := m.CPU()
+	for i := 0; i < c.Cores(); i++ {
+		b := c.Core(i).Counters()
+		row := []uint64{b.RSX(), b.Retired(), b.Cycles()}
+		for _, n := range b.Histogram() {
+			row = append(row, n)
+		}
+		s.Banks = append(s.Banks, row)
+	}
+	return s
+}
+
+func compareSnaps(t *testing.T, label string, got, want ffSnap) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: fast-forwarded state diverged from simulated state\n got %+v\nwant %+v",
+			label, got, want)
+	}
+}
+
+// TestFastForwardMatchesRun is the differential core: round-sized
+// FastForward calls must leave counters, window state, sample counts, and
+// the alert stream bit-identical to Run, and the machine must stay
+// convergent when ordinary Run resumes afterwards.
+func TestFastForwardMatchesRun(t *testing.T) {
+	ref, ff := newFFMachine(t), newFFMachine(t)
+	populateRate(ref)
+	populateRate(ff)
+	const round = 500 * time.Millisecond
+	for r := 0; r < 10; r++ {
+		ref.Run(round)
+		if !ff.FastForward(round) {
+			t.Fatalf("round %d: FastForward refused a rate-model-only machine", r)
+		}
+	}
+	if len(ref.Alerts()) == 0 {
+		t.Fatal("reference run raised no alerts; the differential proves nothing")
+	}
+	compareSnaps(t, "after 10 fast-forwarded rounds", ffSnapshot(ff), ffSnapshot(ref))
+
+	// Resuming per-quantum simulation from fast-forwarded state must stay
+	// bit-identical too (runq order, coreLast, rng streams all converged).
+	ref.Run(time.Second)
+	ff.Run(time.Second)
+	compareSnaps(t, "after resuming Run", ffSnapshot(ff), ffSnapshot(ref))
+}
+
+// TestFastForwardMixedRounds toggles fast-forward on and off round by
+// round — the fleet does exactly this when NoFastForward flips or
+// eligibility changes — and must still match an all-simulated twin.
+func TestFastForwardMixedRounds(t *testing.T) {
+	ref, ff := newFFMachine(t), newFFMachine(t)
+	populateRate(ref)
+	populateRate(ff)
+	const round = 300 * time.Millisecond
+	for r := 0; r < 12; r++ {
+		ref.Run(round)
+		if r%2 == 0 {
+			if !ff.FastForward(round) {
+				t.Fatalf("round %d: FastForward refused", r)
+			}
+		} else {
+			ff.Run(round)
+		}
+	}
+	compareSnaps(t, "alternating fast-forward and Run", ffSnapshot(ff), ffSnapshot(ref))
+}
+
+// TestFastForwardSessionAggregation covers the session accounting path:
+// fork()ed workers aggregate into the parent's session structure, and
+// session-scope alerts must survive fast-forward bit for bit.
+func TestFastForwardSessionAggregation(t *testing.T) {
+	opts := ffOptions()
+	opts.Kernel.Tunables.SessionAggregation = true
+	build := func() *machine.Machine {
+		m, err := machine.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent := m.Kernel().Spawn("dropper", 1000, workload.NewAppWorkload(workload.TableIIApps()[0]))
+		// Two fork()ed mining workers: separate thread groups, one session.
+		for i := 0; i < 2; i++ {
+			m.Kernel().SpawnChildProcess(parent, "worker", miner.NewWorkload(miner.Monero, 0.5, 2, int64(10+i)))
+		}
+		return m
+	}
+	ref, ff := build(), build()
+	for r := 0; r < 8; r++ {
+		ref.Run(500 * time.Millisecond)
+		if !ff.FastForward(500 * time.Millisecond) {
+			t.Fatalf("round %d: FastForward refused", r)
+		}
+	}
+	var sessionAlerts int
+	for _, a := range ref.Alerts() {
+		if a.Scope == kernel.ScopeSession {
+			sessionAlerts++
+		}
+	}
+	if sessionAlerts == 0 {
+		t.Fatal("no session-scope alerts; the aggregation path went unexercised")
+	}
+	compareSnaps(t, "session aggregation", ffSnapshot(ff), ffSnapshot(ref))
+}
+
+// TestFastForwardIdle: an empty runnable set advances for free, matching
+// Run's quantum-grained clock exactly.
+func TestFastForwardIdle(t *testing.T) {
+	ref, ff := newFFMachine(t), newFFMachine(t)
+	if q := ff.Quiescence(); q != kernel.QuiesceIdle {
+		t.Fatalf("Quiescence = %v, want QuiesceIdle", q)
+	}
+	// 1s is not a whole number of 4ms quanta times 3 — use an odd span so
+	// the quantum-overshoot arithmetic is actually exercised.
+	const span = 997 * time.Millisecond
+	ref.Run(span)
+	if !ff.FastForward(span) {
+		t.Fatal("FastForward refused an idle machine")
+	}
+	if ref.Now() != ff.Now() {
+		t.Errorf("idle fast-forward clock %v, Run clock %v", ff.Now(), ref.Now())
+	}
+	if s := ff.Kernel().Samples(); s != 0 {
+		t.Errorf("idle fast-forward took %d samples", s)
+	}
+}
+
+// TestFastForwardRefusesISA: a machine running real ISA work must refuse
+// to fast-forward, leave its state untouched, and then behave exactly as
+// if FastForward had never been called.
+func TestFastForwardRefusesISA(t *testing.T) {
+	prog, _ := cryptoalg.BuildSHA256Program(4)
+	build := func() *machine.Machine {
+		m := newFFMachine(t)
+		m.SpawnApp(workload.TableIIApps()[0])
+		if _, err := m.SpawnProgram("sha256", prog, 50_000, true); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ref, ff := build(), build()
+	if q := ff.Quiescence(); q != kernel.QuiesceBusy {
+		t.Fatalf("Quiescence = %v, want QuiesceBusy", q)
+	}
+	if ff.FastForward(time.Second) {
+		t.Fatal("FastForward accepted a machine with ISA work")
+	}
+	if now := ff.Now(); now != 0 {
+		t.Fatalf("refused FastForward advanced the clock to %v", now)
+	}
+	ref.Run(3 * time.Second)
+	ff.Run(3 * time.Second)
+	compareSnaps(t, "after refused fast-forward", ffSnapshot(ff), ffSnapshot(ref))
+}
+
+// TestFastForwardRefusesOversubscribed: more CPU-bound tasks than cores
+// means the slice plan rotates quantum to quantum, so the span is not
+// analytic. The refusal path must restore the ready queue exactly (this
+// is the buildPlan undo), proven by running both twins onward.
+func TestFastForwardRefusesOversubscribed(t *testing.T) {
+	build := func() *machine.Machine {
+		m := newFFMachine(t)
+		for i, p := range workload.CryptoFunctionApps() {
+			m.SpawnApp(p) // share 1.0 each
+			if i == 0 {
+				m.SpawnApp(p)
+			}
+		}
+		m.SpawnApp(workload.CryptoFunctionApps()[1])
+		m.SpawnApp(workload.CryptoFunctionApps()[2]) // 6 CPU-bound tasks, 4 cores
+		return m
+	}
+	ref, ff := build(), build()
+	if q := ff.Quiescence(); q != kernel.QuiesceRate {
+		t.Fatalf("Quiescence = %v, want QuiesceRate (the probe is advisory)", q)
+	}
+	if ff.FastForward(time.Second) {
+		t.Fatal("FastForward accepted an oversubscribed plan")
+	}
+	ref.Run(3 * time.Second)
+	ff.Run(3 * time.Second)
+	compareSnaps(t, "after refused oversubscribed fast-forward", ffSnapshot(ff), ffSnapshot(ref))
+}
+
+// TestFastForwardAlertCallback: alerts raised inside a fast-forwarded
+// span reach the OnAlert callback in stream order.
+func TestFastForwardAlertCallback(t *testing.T) {
+	m := newFFMachine(t)
+	populateRate(m)
+	var seen []kernel.Alert
+	m.OnAlert(func(a kernel.Alert) { seen = append(seen, a) })
+	for r := 0; r < 10; r++ {
+		if !m.FastForward(500 * time.Millisecond) {
+			t.Fatalf("round %d: FastForward refused", r)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no alerts delivered through the callback")
+	}
+	if !reflect.DeepEqual(seen, m.Alerts()) {
+		t.Errorf("callback stream %+v != alert log %+v", seen, m.Alerts())
+	}
+}

@@ -122,7 +122,12 @@ type Kernel struct {
 
 	nextPid int     // guarded by mu
 	tasks   []*Task // guarded by mu
-	runq    []*Task // guarded by mu
+	// runq[runqHead:] is the ready queue. Popping advances the head cursor
+	// instead of reslicing so the backing array survives across quanta;
+	// rebuildRunq compacts the consumed prefix away, keeping the scheduler
+	// allocation-free at steady state.
+	runq     []*Task // guarded by mu
+	runqHead int     // guarded by mu
 
 	now      time.Duration // guarded by mu
 	coreLast []uint64      // last RSX counter reading per core
@@ -141,6 +146,9 @@ type Kernel struct {
 	// Quantum scratch state, reused to keep the scheduler allocation-free.
 	plan   []placement // cryptojack:derived
 	deltas []uint64    // cryptojack:derived -- per-plan-entry RSX deltas measured during execution
+	// ffScratch snapshots the ready queue while fast-forward eligibility is
+	// probed, so an ineligible probe can restore the queue exactly.
+	ffScratch []*Task // cryptojack:derived
 
 	// Deferred-merge double buffer: in parallel mode the accounting for
 	// quantum N (window checks, alerts, samples) runs overlapped with the
@@ -626,7 +634,11 @@ func (k *Kernel) buildPlan() {
 		}
 	}
 	if pending != nil {
-		k.runq = append([]*Task{pending}, k.runq...)
+		// Return the unpacked task to the queue head. nextRunnable consumed
+		// at least one slot to produce it, so the slot left of the cursor is
+		// free (its task is already planned or was this very task).
+		k.runqHead--
+		k.runq[k.runqHead] = pending
 	}
 	if cap(k.deltas) < len(k.plan) {
 		k.deltas = make([]uint64, len(k.plan))
@@ -659,9 +671,9 @@ func (k *Kernel) runPlanSerial() {
 //
 //cryptojack:locked
 func (k *Kernel) nextRunnable() *Task {
-	for len(k.runq) > 0 {
-		t := k.runq[0]
-		k.runq = k.runq[1:]
+	for k.runqHead < len(k.runq) {
+		t := k.runq[k.runqHead]
+		k.runqHead++
 		if !t.exited {
 			return t
 		}
@@ -678,6 +690,11 @@ func (k *Kernel) nextRunnable() *Task {
 //
 //cryptojack:locked
 func (k *Kernel) rebuildRunq() {
+	// Compact the consumed prefix away first; the planned tasks re-enter
+	// behind whatever the plan left queued, all within existing capacity.
+	n := copy(k.runq, k.runq[k.runqHead:])
+	k.runq = k.runq[:n]
+	k.runqHead = 0
 	for i := range k.plan {
 		p := &k.plan[i]
 		if p.task.workload.Done() {

@@ -178,6 +178,18 @@ func (m *Machine) Parallel() bool { return m.kern.ParallelActive() }
 // Run advances simulated time.
 func (m *Machine) Run(d time.Duration) { m.kern.Run(d) }
 
+// FastForward advances simulated time analytically when the machine is
+// quiescent — nothing runnable, or a purely rate-model runnable set whose
+// slice plan is stationary — leaving all observable state bit-identical
+// to Run(d). It reports whether the span was advanced; false means no
+// state changed and the caller must Run(d) instead. Fleets use this to
+// skip instruction dispatch on idle and rate-model-only members.
+func (m *Machine) FastForward(d time.Duration) bool { return m.kern.FastForward(d) }
+
+// Quiescence classifies the machine's runnable set (idle, purely
+// rate-model, or busy) for fast-forward decisions; see kernel.Quiescence.
+func (m *Machine) Quiescence() kernel.Quiescence { return m.kern.Quiescence() }
+
 // RunUntilAlert runs until an alert fires or the duration elapses.
 func (m *Machine) RunUntilAlert(d time.Duration) bool {
 	return m.kern.RunUntilAlert(d)

@@ -79,7 +79,10 @@ type Workload struct {
 	HashesDone float64
 }
 
-var _ kernel.Workload = (*Workload)(nil)
+var (
+	_ kernel.Workload         = (*Workload)(nil)
+	_ kernel.AnalyticWorkload = (*Workload)(nil)
+)
 
 // NewWorkload returns one mining thread of a Threads-wide miner.
 func NewWorkload(coin Coin, throttle float64, threads int, seed int64) *Workload {
@@ -138,6 +141,66 @@ func (w *Workload) RunSlice(core *cpu.Core, d time.Duration) {
 	bank.AddOpCount(isa.OR, uint64(or))
 
 	w.HashesDone += r.HashesPerSec * d.Seconds() * duty / float64(w.Threads)
+}
+
+// RunSlices implements kernel.AnalyticWorkload: n consecutive slices in
+// one call. Per-slice arithmetic (jitter draw, float scaling, uint64
+// truncation, the HashesDone running sum) repeats exactly as RunSlice
+// performs it so state stays bit-identical; only the counter-bank adds
+// batch into one add per counter.
+func (w *Workload) RunSlices(core *cpu.Core, d time.Duration, n int) {
+	duty := 1 - w.Throttle
+	hours := d.Hours() * duty / float64(w.Threads)
+	r := Rates(w.Coin)
+	hashes := r.HashesPerSec * d.Seconds() * duty / float64(w.Threads)
+	tags := core.TagTable()
+	tagROL, tagSHL := tags.Tagged(isa.ROL), tags.Tagged(isa.SHL)
+	tagXOR, tagOR := tags.Tagged(isa.XOR), tags.Tagged(isa.OR)
+	var rsxT, instT, rolT, rorT, shlT, shrT, xorT, orT uint64
+	for i := 0; i < n; i++ {
+		noise := 1 + 0.02*w.rng.NormFloat64()
+		if noise < 0 {
+			noise = 0
+		}
+		rot := r.RotatePerHour * hours * noise
+		sh := r.ShiftPerHour * hours * noise
+		xr := r.XORPerHour * hours * noise
+		or := r.ORPerHour * hours * noise
+		var rsx float64
+		if tagROL {
+			rsx += rot
+		}
+		if tagSHL {
+			rsx += sh
+		}
+		if tagXOR {
+			rsx += xr
+		}
+		if tagOR {
+			rsx += or
+		}
+		rsxT += uint64(rsx)
+		instT += uint64(r.InstrPerHour * hours * noise)
+		rolT += uint64(rot / 2)
+		rorT += uint64(rot - rot/2)
+		shlT += uint64(sh / 2)
+		shrT += uint64(sh - sh/2)
+		xorT += uint64(xr)
+		orT += uint64(or)
+		// Running float sum, one term per slice, in slice order — float
+		// addition is not associative, so n*hashes would drift.
+		w.HashesDone += hashes
+	}
+	bank := core.Counters()
+	bank.AddRSX(rsxT)
+	bank.AddRetired(instT)
+	bank.AddCycles(instT)
+	bank.AddOpCount(isa.ROLI, rolT)
+	bank.AddOpCount(isa.RORI, rorT)
+	bank.AddOpCount(isa.SHLI, shlT)
+	bank.AddOpCount(isa.SHRI, shrT)
+	bank.AddOpCount(isa.XOR, xorT)
+	bank.AddOpCount(isa.OR, orT)
 }
 
 // Done implements kernel.Workload: miners run until killed.

@@ -144,7 +144,10 @@ type AppWorkload struct {
 	Elapsed time.Duration
 }
 
-var _ kernel.Workload = (*AppWorkload)(nil)
+var (
+	_ kernel.Workload         = (*AppWorkload)(nil)
+	_ kernel.AnalyticWorkload = (*AppWorkload)(nil)
+)
 
 // NewAppWorkload returns a schedulable workload for the profile.
 func NewAppWorkload(p AppProfile) *AppWorkload {
@@ -190,6 +193,62 @@ func (w *AppWorkload) RunSlice(core *cpu.Core, d time.Duration) {
 	bank.AddOpCount(isa.SHRI, uint64(sh-sh/2))
 	bank.AddOpCount(isa.XOR, uint64(xr))
 	bank.AddOpCount(isa.OR, uint64(or))
+}
+
+// RunSlices implements kernel.AnalyticWorkload: n consecutive slices in
+// one call. The per-slice arithmetic — noise draw, float scaling, uint64
+// truncation — repeats exactly as RunSlice performs it (same rng sequence,
+// same rounding), but the counter-bank adds accumulate locally and land as
+// one batched add per counter: bit-identical totals without n round trips
+// through the bank.
+func (w *AppWorkload) RunSlices(core *cpu.Core, d time.Duration, n int) {
+	hours := d.Hours()
+	tags := core.TagTable()
+	tagROL, tagSHL := tags.Tagged(isa.ROL), tags.Tagged(isa.SHL)
+	tagXOR, tagOR := tags.Tagged(isa.XOR), tags.Tagged(isa.OR)
+	var rsxT, instT, rolT, rorT, shlT, shrT, xorT, orT uint64
+	for i := 0; i < n; i++ {
+		noise := 1 + w.Profile.Burstiness*w.rng.NormFloat64()
+		if noise < 0 {
+			noise = 0
+		}
+		rot := w.Profile.RotatePerHour * hours * noise
+		sh := w.Profile.ShiftPerHour * hours * noise
+		xr := w.Profile.XORPerHour * hours * noise
+		or := w.Profile.ORPerHour * hours * noise
+		var rsx float64
+		if tagROL {
+			rsx += rot
+		}
+		if tagSHL {
+			rsx += sh
+		}
+		if tagXOR {
+			rsx += xr
+		}
+		if tagOR {
+			rsx += or
+		}
+		rsxT += uint64(rsx)
+		instT += uint64(w.Profile.InstrPerHour * hours * noise)
+		rolT += uint64(rot / 2)
+		rorT += uint64(rot - rot/2)
+		shlT += uint64(sh / 2)
+		shrT += uint64(sh - sh/2)
+		xorT += uint64(xr)
+		orT += uint64(or)
+	}
+	w.Elapsed += time.Duration(n) * d
+	bank := core.Counters()
+	bank.AddRSX(rsxT)
+	bank.AddRetired(instT)
+	bank.AddCycles(instT)
+	bank.AddOpCount(isa.ROLI, rolT)
+	bank.AddOpCount(isa.RORI, rorT)
+	bank.AddOpCount(isa.SHLI, shlT)
+	bank.AddOpCount(isa.SHRI, shrT)
+	bank.AddOpCount(isa.XOR, xorT)
+	bank.AddOpCount(isa.OR, orT)
 }
 
 // Done implements kernel.Workload: interactive apps run until the
